@@ -1,0 +1,43 @@
+// Figure 9: server load vs total cache size, per-peer storage fixed at
+// 10 GB, neighborhood size varied (100/300/500/1,000 peers -> 1/3/5/10 TB).
+//
+// Same reference trend as figure 8; comparing the two figures separates
+// "more storage per box" from "bigger cooperative neighborhoods".
+#include "bench_support.hpp"
+
+using namespace vodcache;
+
+int main() {
+  const int days = bench::workload_days(21);
+  bench::print_header(
+      "Figure 9: server load vs total cache size (per-peer storage 10 GB)",
+      "1 TB -> ~10 Gb/s ... 10 TB -> ~2.1 Gb/s; Oracle <= LFU <= LRU");
+
+  const auto trace = bench::standard_trace(days);
+  auto config = bench::standard_system();
+  config.per_peer_storage = DataSize::gigabytes(10);
+
+  const auto demand = analysis::demand_peak(trace, config.stream_rate,
+                                            config.peak_window, config.warmup);
+  std::cout << "no-cache baseline: "
+            << analysis::Table::num(demand.mean.gbps(), 2) << " Gb/s\n\n";
+
+  analysis::Table table({"neighborhood", "total cache", "strategy",
+                         "Gb/s [q05, q95]", "reduction"});
+  for (const std::uint32_t size : {100u, 300u, 500u, 1000u}) {
+    for (const auto kind : {core::StrategyKind::Oracle, core::StrategyKind::Lfu,
+                            core::StrategyKind::Lru}) {
+      config.neighborhood_size = size;
+      config.strategy.kind = kind;
+      const auto report = bench::run_system(trace, config);
+      table.add_row(
+          {std::to_string(size),
+           analysis::Table::num(size * 10 / 1000.0, 0) + " TB",
+           core::to_string(kind), bench::fmt_peak(report.server_peak),
+           analysis::Table::num(100.0 * report.reduction_vs(demand.mean), 1) +
+               "%"});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,165 @@
+// Microbenchmarks (google-benchmark) for the hot components of the
+// simulator: event queue, rate meter, replacement strategies, segment
+// store, workload sampling, and the end-to-end event loop.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cache/lfu.hpp"
+#include "cache/lru.hpp"
+#include "cache/oracle.hpp"
+#include "cache/segment_store.hpp"
+#include "core/vod_system.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rate_meter.hpp"
+#include "trace/generator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace vodcache;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    sim::EventQueue<std::uint32_t> queue;
+    for (std::size_t i = 0; i < n; ++i) {
+      queue.push(sim::SimTime::millis(
+                     static_cast<std::int64_t>(rng.uniform_u64(1'000'000))),
+                 static_cast<std::uint32_t>(i));
+    }
+    while (!queue.empty()) benchmark::DoNotOptimize(queue.pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * 2);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(65536);
+
+void BM_RateMeterAdd(benchmark::State& state) {
+  sim::RateMeter meter(sim::SimTime::days(28), sim::SimTime::minutes(15));
+  const auto rate = DataRate::megabits_per_second(8.06);
+  Rng rng(2);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    t = (t + 37'000) % sim::SimTime::days(27).millis_count();
+    meter.add({sim::SimTime::millis(t),
+               sim::SimTime::millis(t + 300'000)},
+              rate);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RateMeterAdd);
+
+void BM_AliasTableSample(benchmark::State& state) {
+  const auto weights = zipf_weights(8278, 1.15);
+  const AliasTable table(weights);
+  Rng rng(3);
+  for (auto _ : state) benchmark::DoNotOptimize(table.sample(rng));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AliasTableSample);
+
+template <typename Strategy>
+void run_strategy_loop(benchmark::State& state, Strategy& strategy) {
+  Rng rng(4);
+  std::int64_t t = 0;
+  // Keep ~200 programs cached, churning.
+  for (auto _ : state) {
+    t += 1000;
+    const ProgramId p{static_cast<std::uint32_t>(rng.uniform_u64(2000))};
+    strategy.record_access(p, sim::SimTime::millis(t));
+    if (!strategy.is_cached(p)) {
+      if (strategy.cached_count() >= 200) {
+        const auto victim = strategy.victim(sim::SimTime::millis(t));
+        if (victim) strategy.on_evict(*victim);
+      }
+      strategy.on_admit(p, sim::SimTime::millis(t));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_LruStrategy(benchmark::State& state) {
+  cache::LruStrategy lru;
+  run_strategy_loop(state, lru);
+}
+BENCHMARK(BM_LruStrategy);
+
+void BM_LfuStrategy(benchmark::State& state) {
+  cache::LfuStrategy lfu(sim::SimTime::hours(72));
+  run_strategy_loop(state, lfu);
+}
+BENCHMARK(BM_LfuStrategy);
+
+void BM_OracleStrategy(benchmark::State& state) {
+  cache::FutureIndex future(2000);
+  Rng rng(5);
+  for (int i = 0; i < 200'000; ++i) {
+    future.add(ProgramId{static_cast<std::uint32_t>(rng.uniform_u64(2000))},
+               sim::SimTime::millis(
+                   static_cast<std::int64_t>(rng.uniform_u64(1'000'000'000))));
+  }
+  future.freeze();
+  cache::OracleStrategy oracle(future, sim::SimTime::days(3));
+  run_strategy_loop(state, oracle);
+}
+BENCHMARK(BM_OracleStrategy);
+
+void BM_SegmentStoreChurn(benchmark::State& state) {
+  cache::SegmentStore store(
+      std::vector<DataSize>(1000, DataSize::gigabytes(10)));
+  const auto seg = DataSize::megabytes(302);
+  Rng rng(6);
+  std::uint32_t next_program = 0;
+  for (auto _ : state) {
+    const ProgramId p{next_program++};
+    for (std::uint32_t s = 0; s < 10; ++s) {
+      if (!store.store({p, s}, seg)) {
+        // Full: evict a random earlier program and retry once.
+        store.evict_program(
+            ProgramId{static_cast<std::uint32_t>(rng.uniform_u64(next_program))});
+        (void)store.store({p, s}, seg);
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 10);
+}
+BENCHMARK(BM_SegmentStoreChurn);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  trace::GeneratorConfig config;
+  config.days = 1;
+  config.user_count = 10'000;
+  config.program_count = 2'000;
+  for (auto _ : state) {
+    const auto trace = trace::generate_power_info_like(config);
+    benchmark::DoNotOptimize(trace.session_count());
+  }
+}
+BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndSimulation(benchmark::State& state) {
+  trace::GeneratorConfig workload;
+  workload.days = 2;
+  workload.user_count = 2'000;
+  workload.program_count = 500;
+  const auto trace = trace::generate_power_info_like(workload);
+
+  core::SystemConfig config;
+  config.neighborhood_size = 500;
+  config.per_peer_storage = DataSize::gigabytes(2);
+  config.strategy.kind = core::StrategyKind::Lfu;
+
+  for (auto _ : state) {
+    core::VodSystem system(trace, config);
+    const auto report = system.run();
+    benchmark::DoNotOptimize(report.segments);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(report.segments));
+  }
+}
+BENCHMARK(BM_EndToEndSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

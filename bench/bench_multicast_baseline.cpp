@@ -1,0 +1,71 @@
+// Section IV-A, quantified: "Why Not Multicast".
+//
+// The paper rejects multicast with two observations about the trace —
+// popularity skew (most programs can't form trees) and short attention
+// spans (half of all sessions die within 8 minutes).  This bench runs an
+// *optimistic* batching multicast (free catch-up, free tree repair) against
+// the same trace and places its server load next to the cooperative
+// cache's, making the design argument measurable.
+#include "bench_support.hpp"
+
+#include "core/multicast_baseline.hpp"
+
+using namespace vodcache;
+
+int main() {
+  const int days = bench::workload_days(14);
+  bench::print_header(
+      "Section IV-A baseline: optimistic batching multicast vs cooperative "
+      "cache",
+      "multicast saves little outside the head of the popularity curve; "
+      "the paper's cache wins decisively");
+
+  const auto trace = bench::standard_trace(days);
+  auto config = bench::standard_system();
+
+  const auto demand = analysis::demand_peak(trace, config.stream_rate,
+                                            config.peak_window, config.warmup);
+  std::cout << "no-cache (unicast) baseline: "
+            << analysis::Table::num(demand.mean.gbps(), 2) << " Gb/s\n\n";
+
+  const auto half_horizon =
+      sim::SimTime::millis(trace.horizon().millis_count() / 2);
+  const auto from = std::min(config.warmup, half_horizon);
+
+  analysis::Table table({"batch window", "server Gb/s", "reduction",
+                         "mean batch size"});
+  for (const int window_s : {0, 30, 120, 300, 900, 3600}) {
+    core::MulticastConfig mc;
+    mc.batch_window = sim::SimTime::seconds(window_s);
+    mc.stream_rate = config.stream_rate;
+    const auto report = core::simulate_multicast(trace, mc,
+                                                 config.peak_window, from);
+    table.add_row(
+        {window_s == 0 ? "none (unicast)" : std::to_string(window_s) + " s",
+         analysis::Table::num(report.server_peak.mean.gbps(), 2),
+         analysis::Table::num(
+             100.0 * (1.0 - report.server_peak.mean.bps() / demand.mean.bps()),
+             1) +
+             "%",
+         analysis::Table::num(report.mean_batch_size(), 2)});
+  }
+  table.print(std::cout);
+
+  // The cooperative cache on the identical trace.
+  const auto cache_report = bench::run_system(trace, config);
+  std::cout << "\ncooperative cache (LFU, 10 TB/neighborhood): "
+            << analysis::Table::num(cache_report.server_peak.mean.gbps(), 2)
+            << " Gb/s ("
+            << analysis::Table::num(
+                   100.0 * cache_report.reduction_vs(demand.mean), 1)
+            << "% reduction)\n";
+
+  std::cout
+      << "\nReading: even with a 15-minute batching window (900 s of viewer-"
+         "visible startup\nlatency!) and free catch-up, multicast cannot "
+         "approach the cache, because the\nmean batch stays near 1 session "
+         "outside the few head programs (figure 2's skew)\nand early "
+         "departures don't shrink a stream that must outlive its longest\n"
+         "member (figure 3's attention spans).\n";
+  return 0;
+}

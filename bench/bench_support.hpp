@@ -1,0 +1,69 @@
+// Shared plumbing for the figure-reproduction harnesses.
+//
+// Every bench regenerates one table or figure from the paper and prints the
+// paper's reference numbers next to the measured ones.  Workload length is
+// tunable: VODCACHE_DAYS=<n> overrides each bench's default (longer runs
+// converge closer to the paper's 7-month steady state; the defaults trade a
+// little convergence for minutes of runtime).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "analysis/load_analysis.hpp"
+#include "analysis/table.hpp"
+#include "core/vod_system.hpp"
+#include "trace/generator.hpp"
+
+namespace vodcache::bench {
+
+inline int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const int parsed = std::atoi(value);
+  return parsed > 0 ? parsed : fallback;
+}
+
+inline int workload_days(int fallback) {
+  return env_int("VODCACHE_DAYS", fallback);
+}
+
+// The full-scale PowerInfo-like workload (41,698 users, 8,278 programs).
+inline trace::Trace standard_trace(int days) {
+  trace::GeneratorConfig config;
+  config.days = days;
+  return trace::generate_power_info_like(config);
+}
+
+// Default system config used by the paper unless a figure says otherwise:
+// 1,000-peer neighborhoods, 10 GB per peer, LFU.
+inline core::SystemConfig standard_system() {
+  core::SystemConfig config;
+  config.neighborhood_size = 1000;
+  config.per_peer_storage = DataSize::gigabytes(10);
+  config.strategy.kind = core::StrategyKind::Lfu;
+  return config;
+}
+
+inline core::SimulationReport run_system(const trace::Trace& trace,
+                                         const core::SystemConfig& config) {
+  core::VodSystem system(trace, config);
+  return system.run();
+}
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_reference) {
+  std::cout << "\n==============================================================\n"
+            << title << '\n'
+            << "paper reference: " << paper_reference << '\n'
+            << "==============================================================\n";
+}
+
+inline std::string fmt_peak(const sim::PeakStats& peak) {
+  return analysis::Table::num(peak.mean.gbps(), 2) + " [" +
+         analysis::Table::num(peak.q05.gbps(), 2) + ", " +
+         analysis::Table::num(peak.q95.gbps(), 2) + "]";
+}
+
+}  // namespace vodcache::bench

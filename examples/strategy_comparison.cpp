@@ -1,0 +1,75 @@
+// Strategy comparison on a custom workload: every replacement strategy the
+// library ships (None/LRU/LFU/Oracle/GlobalLFU with lags), side by side.
+//
+// Usage: strategy_comparison [days] [neighborhood_size] [per_peer_GB]
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/load_analysis.hpp"
+#include "analysis/table.hpp"
+#include "core/vod_system.hpp"
+#include "trace/generator.hpp"
+
+using namespace vodcache;
+
+int main(int argc, char** argv) {
+  trace::GeneratorConfig workload;
+  workload.days = argc > 1 ? std::atoi(argv[1]) : 14;
+
+  core::SystemConfig base;
+  base.neighborhood_size =
+      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 500;
+  base.per_peer_storage =
+      DataSize::gigabytes(argc > 3 ? std::atoi(argv[3]) : 4);
+  base.strategy.lfu_history = sim::SimTime::hours(72);
+
+  std::cout << "Comparing strategies: " << base.neighborhood_size
+            << "-peer neighborhoods, "
+            << base.per_peer_storage.as_gigabytes() << " GB/peer ("
+            << base.neighborhood_cache_capacity().as_terabytes()
+            << " TB neighborhood cache), " << workload.days << " days\n\n";
+
+  const auto trace = trace::generate_power_info_like(workload);
+  const auto demand = analysis::demand_peak(trace, base.stream_rate,
+                                            base.peak_window, base.warmup);
+
+  struct Variant {
+    const char* label;
+    core::StrategyKind kind;
+    sim::SimTime lag;
+  };
+  const Variant variants[] = {
+      {"no cache", core::StrategyKind::None, {}},
+      {"LRU", core::StrategyKind::Lru, {}},
+      {"LFU (72h history)", core::StrategyKind::Lfu, {}},
+      {"GlobalLFU (live)", core::StrategyKind::GlobalLfu, {}},
+      {"GlobalLFU (30min lag)", core::StrategyKind::GlobalLfu,
+       sim::SimTime::minutes(30)},
+      {"GlobalLFU (2h lag)", core::StrategyKind::GlobalLfu,
+       sim::SimTime::hours(2)},
+      {"Oracle (3-day lookahead)", core::StrategyKind::Oracle, {}},
+  };
+
+  analysis::Table table({"strategy", "peak Gb/s", "reduction", "hit ratio",
+                         "evictions"});
+  for (const auto& variant : variants) {
+    auto config = base;
+    config.strategy.kind = variant.kind;
+    config.strategy.global_lag = variant.lag;
+    core::VodSystem system(trace, config);
+    const auto report = system.run();
+    table.add_row(
+        {variant.label,
+         analysis::Table::num(report.server_peak.mean.gbps(), 2),
+         analysis::Table::num(100.0 * report.reduction_vs(demand.mean), 1) +
+             "%",
+         analysis::Table::num(report.hit_ratio(), 3),
+         std::to_string(report.evictions)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected ordering (paper section VI-A): Oracle best; LFU "
+               "at least as good as LRU;\nglobal popularity data a small "
+               "further gain, degrading gracefully with batching lag.\n";
+  return 0;
+}

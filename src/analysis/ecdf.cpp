@@ -1,0 +1,56 @@
+#include "analysis/ecdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace vodcache::analysis {
+
+Ecdf::Ecdf(std::span<const double> samples)
+    : sorted_(samples.begin(), samples.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::at(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  VODCACHE_EXPECTS(!sorted_.empty());
+  VODCACHE_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (q <= 0.0) return sorted_.front();
+  const auto rank = static_cast<std::size_t>(
+      std::min<double>(std::ceil(q * static_cast<double>(sorted_.size())),
+                       static_cast<double>(sorted_.size())));
+  return sorted_[rank == 0 ? 0 : rank - 1];
+}
+
+double Ecdf::min() const {
+  VODCACHE_EXPECTS(!sorted_.empty());
+  return sorted_.front();
+}
+
+double Ecdf::max() const {
+  VODCACHE_EXPECTS(!sorted_.empty());
+  return sorted_.back();
+}
+
+std::vector<Ecdf::Jump> Ecdf::jumps(double min_mass) const {
+  std::vector<Jump> out;
+  const double n = static_cast<double>(sorted_.size());
+  std::size_t i = 0;
+  while (i < sorted_.size()) {
+    std::size_t j = i;
+    while (j < sorted_.size() && sorted_[j] == sorted_[i]) ++j;
+    const double mass = static_cast<double>(j - i) / n;
+    if (mass >= min_mass) out.push_back({sorted_[i], mass});
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace vodcache::analysis

@@ -1,0 +1,27 @@
+#include "analysis/load_analysis.hpp"
+
+namespace vodcache::analysis {
+
+sim::RateMeter demand_meter(const trace::Trace& trace, DataRate rate,
+                            sim::SimTime bucket) {
+  sim::RateMeter meter(trace.horizon(), bucket);
+  for (const auto& s : trace.sessions()) {
+    meter.add({s.start, s.start + s.duration}, rate);
+  }
+  return meter;
+}
+
+std::vector<DataRate> demand_hourly_profile(const trace::Trace& trace,
+                                            DataRate rate) {
+  return demand_meter(trace, rate).hourly_profile();
+}
+
+sim::PeakStats demand_peak(const trace::Trace& trace, DataRate rate,
+                           sim::HourWindow window, sim::SimTime from) {
+  const auto half_horizon =
+      sim::SimTime::millis(trace.horizon().millis_count() / 2);
+  return sim::peak_stats(demand_meter(trace, rate), window,
+                         std::min(from, half_horizon));
+}
+
+}  // namespace vodcache::analysis

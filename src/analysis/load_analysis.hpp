@@ -1,0 +1,31 @@
+// Aggregate demand analyses (paper figure 7 and the 17 Gb/s no-cache
+// baseline).  These run directly off the trace — no cache simulation —
+// because with no cache, server load equals total streaming demand.
+#pragma once
+
+#include <vector>
+
+#include "sim/peak_stats.hpp"
+#include "sim/rate_meter.hpp"
+#include "trace/trace.hpp"
+
+namespace vodcache::analysis {
+
+// Meters every session of the trace at `rate` (each session is one
+// continuous stream for its duration).
+[[nodiscard]] sim::RateMeter demand_meter(
+    const trace::Trace& trace, DataRate rate,
+    sim::SimTime bucket = sim::SimTime::minutes(15));
+
+// Mean demand per hour of day (figure 7's curve).
+[[nodiscard]] std::vector<DataRate> demand_hourly_profile(
+    const trace::Trace& trace, DataRate rate);
+
+// Peak-window demand statistics (the "no cache" 17 Gb/s line).  `from`
+// restricts measurement to buckets at or after that time, mirroring the
+// cached runs' warmup exclusion; it is clamped to half the horizon.
+[[nodiscard]] sim::PeakStats demand_peak(const trace::Trace& trace,
+                                         DataRate rate, sim::HourWindow window,
+                                         sim::SimTime from = sim::SimTime{});
+
+}  // namespace vodcache::analysis

@@ -1,0 +1,95 @@
+#include "analysis/popularity_analysis.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace vodcache::analysis {
+
+std::vector<RankedProgram> rank_by_sessions(const trace::Trace& trace) {
+  std::vector<std::uint64_t> counts(trace.catalog().size(), 0);
+  for (const auto& s : trace.sessions()) ++counts[s.program.value()];
+
+  std::vector<RankedProgram> ranking;
+  ranking.reserve(counts.size());
+  for (std::uint32_t p = 0; p < counts.size(); ++p) {
+    ranking.push_back({ProgramId{p}, counts[p]});
+  }
+  std::stable_sort(ranking.begin(), ranking.end(),
+                   [](const RankedProgram& a, const RankedProgram& b) {
+                     return a.sessions > b.sessions;
+                   });
+  return ranking;
+}
+
+ProgramId quantile_program(const std::vector<RankedProgram>& ranking,
+                           double q) {
+  VODCACHE_EXPECTS(!ranking.empty());
+  VODCACHE_EXPECTS(q >= 0.0 && q <= 1.0);
+  // q = 1.0 -> rank 0 (most popular); q = 0.99 -> outranks 99% of programs.
+  const auto n = static_cast<double>(ranking.size());
+  auto index = static_cast<std::size_t>((1.0 - q) * n);
+  index = std::min(index, ranking.size() - 1);
+  return ranking[index].program;
+}
+
+std::vector<std::uint64_t> sessions_per_window(const trace::Trace& trace,
+                                               ProgramId program,
+                                               sim::SimTime from,
+                                               sim::SimTime to,
+                                               sim::SimTime window) {
+  VODCACHE_EXPECTS(to > from);
+  VODCACHE_EXPECTS(window > sim::SimTime{});
+  const auto buckets = static_cast<std::size_t>(
+      ((to - from).millis_count() + window.millis_count() - 1) /
+      window.millis_count());
+  std::vector<std::uint64_t> counts(buckets, 0);
+  for (const auto& s : trace.sessions()) {
+    if (s.program != program || s.start < from || s.start >= to) continue;
+    counts[static_cast<std::size_t>((s.start - from).millis_count() /
+                                    window.millis_count())]++;
+  }
+  return counts;
+}
+
+std::vector<double> popularity_by_age(const trace::Trace& trace,
+                                      int max_age_days,
+                                      std::uint64_t min_sessions) {
+  VODCACHE_EXPECTS(max_age_days > 0);
+
+  // Total sessions per program, to apply the popularity floor.
+  std::vector<std::uint64_t> totals(trace.catalog().size(), 0);
+  for (const auto& s : trace.sessions()) ++totals[s.program.value()];
+
+  // Qualifying programs: introduced inside the trace, early enough that all
+  // `max_age_days` ages fall inside it too (avoids right-censoring bias).
+  std::vector<bool> qualifies(trace.catalog().size(), false);
+  std::size_t qualifying = 0;
+  for (std::uint32_t p = 0; p < trace.catalog().size(); ++p) {
+    const auto intro = trace.catalog().introduced(ProgramId{p});
+    if (intro < sim::SimTime{}) continue;
+    if (intro + sim::SimTime::days(max_age_days) > trace.horizon()) continue;
+    if (totals[p] < min_sessions) continue;
+    qualifies[p] = true;
+    ++qualifying;
+  }
+
+  std::vector<double> sessions_by_age(static_cast<std::size_t>(max_age_days),
+                                      0.0);
+  if (qualifying == 0) return sessions_by_age;
+
+  for (const auto& s : trace.sessions()) {
+    if (!qualifies[s.program.value()]) continue;
+    const auto age_days =
+        (s.start - trace.catalog().introduced(s.program)).millis_count() /
+        sim::SimTime::days(1).millis_count();
+    if (age_days >= 0 && age_days < max_age_days) {
+      sessions_by_age[static_cast<std::size_t>(age_days)] += 1.0;
+    }
+  }
+  for (auto& v : sessions_by_age) v /= static_cast<double>(qualifying);
+  return sessions_by_age;
+}
+
+}  // namespace vodcache::analysis

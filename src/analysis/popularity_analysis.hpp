@@ -1,0 +1,40 @@
+// Program-popularity analyses (paper figures 2 and 12).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "trace/trace.hpp"
+
+namespace vodcache::analysis {
+
+// Programs ranked by total session count, descending.
+struct RankedProgram {
+  ProgramId program;
+  std::uint64_t sessions = 0;
+};
+[[nodiscard]] std::vector<RankedProgram> rank_by_sessions(
+    const trace::Trace& trace);
+
+// The program at quantile `q` of the popularity ranking (q = 1.0 is the
+// most popular; the paper's "99% quantile" program out-draws 99% of the
+// catalog).
+[[nodiscard]] ProgramId quantile_program(
+    const std::vector<RankedProgram>& ranking, double q);
+
+// Sessions initiated for `program` in each `window`-wide bucket of
+// [from, to) — the running count behind figure 2.
+[[nodiscard]] std::vector<std::uint64_t> sessions_per_window(
+    const trace::Trace& trace, ProgramId program, sim::SimTime from,
+    sim::SimTime to, sim::SimTime window);
+
+// Figure 12: mean sessions per day as a function of days since the
+// program's introduction, averaged over programs introduced inside the
+// trace window with at least `min_sessions` total sessions.
+// Element d covers age [d, d+1) days; `max_age_days` elements.
+[[nodiscard]] std::vector<double> popularity_by_age(
+    const trace::Trace& trace, int max_age_days,
+    std::uint64_t min_sessions = 50);
+
+}  // namespace vodcache::analysis

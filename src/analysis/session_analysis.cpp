@@ -1,0 +1,41 @@
+#include "analysis/session_analysis.hpp"
+
+namespace vodcache::analysis {
+
+std::vector<double> session_lengths_seconds(const trace::Trace& trace,
+                                            ProgramId program) {
+  std::vector<double> lengths;
+  for (const auto& s : trace.sessions()) {
+    if (s.program == program) lengths.push_back(s.duration.seconds_f());
+  }
+  return lengths;
+}
+
+std::vector<double> all_session_lengths_seconds(const trace::Trace& trace) {
+  std::vector<double> lengths;
+  lengths.reserve(trace.session_count());
+  for (const auto& s : trace.sessions()) {
+    lengths.push_back(s.duration.seconds_f());
+  }
+  return lengths;
+}
+
+std::optional<ProgramLengthEstimate> estimate_program_length(
+    const Ecdf& session_lengths, double min_mass) {
+  const auto spikes = session_lengths.jumps(min_mass);
+  if (spikes.empty()) return std::nullopt;
+  // The completion spike is the *last* significant point mass: early-quit
+  // durations are continuous, only the truncation at program length piles
+  // sessions onto one exact value.
+  const auto& spike = spikes.back();
+  return ProgramLengthEstimate{spike.value, spike.mass};
+}
+
+std::optional<ProgramLengthEstimate> estimate_program_length(
+    const trace::Trace& trace, ProgramId program, double min_mass) {
+  const auto lengths = session_lengths_seconds(trace, program);
+  if (lengths.empty()) return std::nullopt;
+  return estimate_program_length(Ecdf(lengths), min_mass);
+}
+
+}  // namespace vodcache::analysis

@@ -1,0 +1,35 @@
+// Session-length analyses (paper figures 3 and 6).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "analysis/ecdf.hpp"
+#include "trace/trace.hpp"
+
+namespace vodcache::analysis {
+
+// All session durations (seconds) for one program.
+[[nodiscard]] std::vector<double> session_lengths_seconds(
+    const trace::Trace& trace, ProgramId program);
+
+// All session durations (seconds) across the whole trace.
+[[nodiscard]] std::vector<double> all_session_lengths_seconds(
+    const trace::Trace& trace);
+
+struct ProgramLengthEstimate {
+  double seconds = 0.0;      // estimated program length
+  double completion = 0.0;   // fraction of sessions at that exact length
+};
+
+// The paper's methodology, automated: program length is the largest session
+// value carrying a point mass of at least `min_mass` (the completion spike —
+// sessions truncated at the full program length are exactly equal).
+// Returns nullopt if no such spike exists (program too unpopular).
+[[nodiscard]] std::optional<ProgramLengthEstimate> estimate_program_length(
+    const Ecdf& session_lengths, double min_mass = 0.02);
+
+[[nodiscard]] std::optional<ProgramLengthEstimate> estimate_program_length(
+    const trace::Trace& trace, ProgramId program, double min_mass = 0.02);
+
+}  // namespace vodcache::analysis

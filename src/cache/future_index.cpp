@@ -1,0 +1,32 @@
+#include "cache/future_index.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace vodcache::cache {
+
+FutureIndex::FutureIndex(std::size_t program_count) : times_(program_count) {}
+
+void FutureIndex::add(ProgramId program, sim::SimTime t) {
+  VODCACHE_EXPECTS(!frozen_);
+  VODCACHE_EXPECTS(program.value() < times_.size());
+  times_[program.value()].push_back(t);
+}
+
+void FutureIndex::freeze() {
+  for (auto& v : times_) std::sort(v.begin(), v.end());
+  frozen_ = true;
+}
+
+std::int64_t FutureIndex::count_in(ProgramId program, sim::SimTime t,
+                                   sim::SimTime horizon) const {
+  VODCACHE_EXPECTS(frozen_);
+  VODCACHE_EXPECTS(program.value() < times_.size());
+  const auto& v = times_[program.value()];
+  const auto lo = std::upper_bound(v.begin(), v.end(), t);
+  const auto hi = std::upper_bound(v.begin(), v.end(), t + horizon);
+  return hi - lo;
+}
+
+}  // namespace vodcache::cache

@@ -1,0 +1,64 @@
+#include "cache/global_lfu.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace vodcache::cache {
+
+GlobalLfuStrategy::GlobalLfuStrategy(std::shared_ptr<PopularityBoard> board)
+    : board_(std::move(board)) {
+  VODCACHE_EXPECTS(board_ != nullptr);
+  if (board_->lag() == sim::SimTime{}) {
+    // Live mode: mark cached programs dirty when any neighborhood changes
+    // their global count; re-ranking happens at the next victim decision.
+    board_->subscribe([this](ProgramId program, sim::SimTime t) {
+      if (is_cached(program)) {
+        dirty_.insert(program);
+        dirty_time_ = t;
+      }
+    });
+  }
+}
+
+void GlobalLfuStrategy::refresh(sim::SimTime t) {
+  if (board_->lag() == sim::SimTime{}) {
+    if (dirty_.empty()) return;
+    const sim::SimTime at = std::max(t, dirty_time_);
+    for (const ProgramId program : dirty_) {
+      if (is_cached(program)) cached().update(program, score(program, at));
+    }
+    dirty_.clear();
+    return;
+  }
+  board_->advance(t);
+  if (board_->snapshot_epoch() == seen_epoch_) return;
+  // A new global batch arrived: local deltas are folded into it; re-rank
+  // everything we hold.
+  seen_epoch_ = board_->snapshot_epoch();
+  local_since_snapshot_.clear();
+  for (const ProgramId program : cached().programs()) {
+    cached().update(program, score(program, t));
+  }
+}
+
+void GlobalLfuStrategy::record_access(ProgramId program, sim::SimTime t) {
+  refresh(t);
+  last_access_[program] = next_sequence();
+  board_->record(program, t);
+  if (board_->lag() > sim::SimTime{}) ++local_since_snapshot_[program];
+  cached().update(program, score(program, t));
+}
+
+Score GlobalLfuStrategy::score(ProgramId program, sim::SimTime t) {
+  const auto last = last_access_.find(program);
+  const std::int64_t seq = last == last_access_.end() ? 0 : last->second;
+  std::int64_t count = board_->visible_count(program, t);
+  if (board_->lag() > sim::SimTime{}) {
+    const auto it = local_since_snapshot_.find(program);
+    if (it != local_since_snapshot_.end()) count += it->second;
+  }
+  return {count, seq};
+}
+
+}  // namespace vodcache::cache

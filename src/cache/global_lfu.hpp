@@ -1,0 +1,45 @@
+// Global LFU (paper section VI-A, figure 13): an LFU whose popularity data
+// comes from every neighborhood in the system, not just the local one.
+//
+// Score:
+//   lag == 0 : (live global in-window count, local recency)
+//   lag > 0  : (global count at last snapshot + local accesses since that
+//               snapshot, local recency)
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cache/popularity_board.hpp"
+#include "cache/strategy.hpp"
+
+namespace vodcache::cache {
+
+class GlobalLfuStrategy final : public ScoredStrategy {
+ public:
+  explicit GlobalLfuStrategy(std::shared_ptr<PopularityBoard> board);
+
+  [[nodiscard]] std::string_view name() const override {
+    return board_->lag() == sim::SimTime{} ? "GlobalLFU" : "GlobalLFU(lagged)";
+  }
+
+  void record_access(ProgramId program, sim::SimTime t) override;
+  [[nodiscard]] Score score(ProgramId program, sim::SimTime t) override;
+
+ private:
+  void refresh(sim::SimTime t) override;
+
+  std::shared_ptr<PopularityBoard> board_;
+  std::unordered_map<ProgramId, std::int64_t> last_access_;
+  // lag > 0 only: local accesses since the snapshot we last saw.
+  std::unordered_map<ProgramId, std::int64_t> local_since_snapshot_;
+  std::uint64_t seen_epoch_ = 0;
+  // lag == 0 only: cached programs whose global count changed since the
+  // last refresh.  Re-ranking is deferred to the next victim decision so a
+  // burst of remote accesses costs one update, not one per access.
+  std::unordered_set<ProgramId> dirty_;
+  sim::SimTime dirty_time_;
+};
+
+}  // namespace vodcache::cache

@@ -1,0 +1,45 @@
+#include "cache/lfu.hpp"
+
+#include "util/assert.hpp"
+
+namespace vodcache::cache {
+
+LfuStrategy::LfuStrategy(sim::SimTime history) : history_(history) {
+  VODCACHE_EXPECTS(history >= sim::SimTime{});
+}
+
+void LfuStrategy::expire(sim::SimTime now) {
+  const sim::SimTime cutoff = now - history_;
+  while (!window_.empty() && window_.front().time < cutoff) {
+    const ProgramId program = window_.front().program;
+    window_.pop_front();
+    auto it = counts_.find(program);
+    VODCACHE_ASSERT(it != counts_.end() && it->second > 0);
+    if (--it->second == 0) counts_.erase(it);
+    // Re-rank if this program is cached.
+    cached().update(program, score(program, now));
+  }
+}
+
+void LfuStrategy::record_access(ProgramId program, sim::SimTime t) {
+  expire(t);
+  last_access_[program] = next_sequence();
+  if (history_ > sim::SimTime{}) {
+    window_.push_back({t, program});
+    ++counts_[program];
+  }
+  cached().update(program, score(program, t));
+}
+
+Score LfuStrategy::score(ProgramId program, sim::SimTime /*t*/) {
+  const auto last = last_access_.find(program);
+  const std::int64_t seq = last == last_access_.end() ? 0 : last->second;
+  return {frequency(program), seq};
+}
+
+std::int64_t LfuStrategy::frequency(ProgramId program) const {
+  const auto it = counts_.find(program);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace vodcache::cache

@@ -1,0 +1,50 @@
+// Least Frequently Used over an N-hour history (paper section IV-B.2).
+//
+// "The index server keeps a history of all events that occur within the
+// last N hours ... Items that are accessed the most frequently are stored
+// in the cache, with ties being resolved using an LRU strategy."
+//
+// Score = (accesses within the sliding window, recency sequence).  The
+// window advances on every access; expiring an event decrements its
+// program's count and, if that program is cached, re-ranks it — this is why
+// the cached set uses an exact ordered index rather than a lazy heap.
+//
+// history == 0 degenerates to pure LRU (the paper's figure 11 uses this as
+// its leftmost point).
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "cache/strategy.hpp"
+
+namespace vodcache::cache {
+
+class LfuStrategy final : public ScoredStrategy {
+ public:
+  explicit LfuStrategy(sim::SimTime history);
+
+  [[nodiscard]] std::string_view name() const override { return "LFU"; }
+
+  void record_access(ProgramId program, sim::SimTime t) override;
+  [[nodiscard]] Score score(ProgramId program, sim::SimTime t) override;
+
+  [[nodiscard]] sim::SimTime history() const { return history_; }
+  // Current in-window access count (exposed for tests).
+  [[nodiscard]] std::int64_t frequency(ProgramId program) const;
+
+ private:
+  void expire(sim::SimTime now);
+
+  struct HistoryEvent {
+    sim::SimTime time;
+    ProgramId program;
+  };
+
+  sim::SimTime history_;
+  std::deque<HistoryEvent> window_;
+  std::unordered_map<ProgramId, std::int64_t> counts_;
+  std::unordered_map<ProgramId, std::int64_t> last_access_;
+};
+
+}  // namespace vodcache::cache

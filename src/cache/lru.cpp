@@ -1,0 +1,18 @@
+#include "cache/lru.hpp"
+
+namespace vodcache::cache {
+
+void LruStrategy::record_access(ProgramId program, sim::SimTime t) {
+  const std::int64_t seq = next_sequence();
+  last_access_[program] = seq;
+  cached().update(program, score(program, t));
+}
+
+Score LruStrategy::score(ProgramId program, sim::SimTime /*t*/) {
+  const auto it = last_access_.find(program);
+  // Never-accessed programs (possible when a store is pre-seeded) rank last.
+  const std::int64_t seq = it == last_access_.end() ? 0 : it->second;
+  return {seq, 0};
+}
+
+}  // namespace vodcache::cache

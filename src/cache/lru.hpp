@@ -1,0 +1,29 @@
+// Least Recently Used (paper section IV-B.2).
+//
+// "This strategy maintains a queue of each file sorted by when it was last
+// accessed. ... If it is not in the cache already, it is added immediately.
+// When the cache is full the program at the end of the queue is discarded."
+//
+// Score = (recency sequence, 0): a just-accessed candidate always outranks
+// the least-recently-used cached program, so admission is unconditional,
+// exactly as the paper specifies.
+#pragma once
+
+#include <unordered_map>
+
+#include "cache/strategy.hpp"
+
+namespace vodcache::cache {
+
+class LruStrategy final : public ScoredStrategy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "LRU"; }
+
+  void record_access(ProgramId program, sim::SimTime t) override;
+  [[nodiscard]] Score score(ProgramId program, sim::SimTime t) override;
+
+ private:
+  std::unordered_map<ProgramId, std::int64_t> last_access_;
+};
+
+}  // namespace vodcache::cache

@@ -1,0 +1,37 @@
+#include "cache/oracle.hpp"
+
+#include "util/assert.hpp"
+
+namespace vodcache::cache {
+
+OracleStrategy::OracleStrategy(const FutureIndex& future, sim::SimTime lookahead,
+                               sim::SimTime refresh_interval)
+    : future_(future),
+      lookahead_(lookahead),
+      refresh_interval_(refresh_interval) {
+  VODCACHE_EXPECTS(future.frozen());
+  VODCACHE_EXPECTS(lookahead > sim::SimTime{});
+  VODCACHE_EXPECTS(refresh_interval > sim::SimTime{});
+}
+
+void OracleStrategy::refresh(sim::SimTime t) {
+  if (t < next_refresh_) return;
+  next_refresh_ = t + refresh_interval_;
+  for (const ProgramId program : cached().programs()) {
+    cached().update(program, score(program, t));
+  }
+}
+
+void OracleStrategy::record_access(ProgramId program, sim::SimTime t) {
+  refresh(t);
+  last_access_[program] = next_sequence();
+  cached().update(program, score(program, t));
+}
+
+Score OracleStrategy::score(ProgramId program, sim::SimTime t) {
+  const auto it = last_access_.find(program);
+  const std::int64_t seq = it == last_access_.end() ? 0 : it->second;
+  return {future_.count_in(program, t, lookahead_), seq};
+}
+
+}  // namespace vodcache::cache

@@ -1,0 +1,71 @@
+#include "cache/popularity_board.hpp"
+
+#include "util/assert.hpp"
+
+namespace vodcache::cache {
+
+PopularityBoard::PopularityBoard(std::size_t program_count, sim::SimTime window,
+                                 sim::SimTime lag)
+    : window_(window), lag_(lag), live_(program_count, 0) {
+  VODCACHE_EXPECTS(program_count > 0);
+  VODCACHE_EXPECTS(window > sim::SimTime{});
+  VODCACHE_EXPECTS(lag >= sim::SimTime{});
+  if (lag_ > sim::SimTime{}) {
+    snapshot_.assign(program_count, 0);
+    next_batch_ = lag_;
+  }
+}
+
+void PopularityBoard::notify(ProgramId program, sim::SimTime t) {
+  for (const auto& callback : subscribers_) callback(program, t);
+}
+
+void PopularityBoard::expire(sim::SimTime cutoff, sim::SimTime now) {
+  while (!events_.empty() && events_.front().time < cutoff) {
+    const ProgramId program = events_.front().program;
+    events_.pop_front();
+    VODCACHE_ASSERT(live_[program.value()] > 0);
+    --live_[program.value()];
+    if (lag_ == sim::SimTime{}) notify(program, now);
+  }
+}
+
+void PopularityBoard::publish_snapshots(sim::SimTime t) {
+  // Catch up on every batch boundary passed; only the last one's contents
+  // matter, so expire once to the final boundary and copy.
+  if (lag_ == sim::SimTime{} || t < next_batch_) return;
+  sim::SimTime boundary = next_batch_;
+  while (boundary + lag_ <= t) boundary += lag_;
+  expire(boundary - window_, boundary);
+  snapshot_ = live_;
+  next_batch_ = boundary + lag_;
+  ++epoch_;
+}
+
+void PopularityBoard::advance(sim::SimTime t) {
+  publish_snapshots(t);
+  expire(t - window_, t);
+}
+
+void PopularityBoard::record(ProgramId program, sim::SimTime t) {
+  VODCACHE_EXPECTS(program.value() < live_.size());
+  VODCACHE_EXPECTS(events_.empty() || t >= events_.back().time);
+  advance(t);
+  events_.push_back({t, program});
+  ++live_[program.value()];
+  if (lag_ == sim::SimTime{}) notify(program, t);
+}
+
+std::int64_t PopularityBoard::visible_count(ProgramId program, sim::SimTime t) {
+  VODCACHE_EXPECTS(program.value() < live_.size());
+  advance(t);
+  if (lag_ == sim::SimTime{}) return live_[program.value()];
+  return snapshot_[program.value()];
+}
+
+void PopularityBoard::subscribe(
+    std::function<void(ProgramId, sim::SimTime)> callback) {
+  subscribers_.push_back(std::move(callback));
+}
+
+}  // namespace vodcache::cache

@@ -1,0 +1,76 @@
+// PopularityBoard: system-wide program popularity, shared by every
+// neighborhood's Global-LFU strategy (paper section VI-A, figure 13).
+//
+// The board keeps a sliding window of all session starts across the whole
+// deployment.  Two visibility modes:
+//
+//  * lag == 0 ("Global"): neighborhoods see live counts.  Every count
+//    change (new access or window expiry) is pushed to subscribers so they
+//    can re-rank cached programs exactly.
+//  * lag > 0 ("Global, 30 minute lag" / "Global, 2 hour lag"): counts are
+//    frozen at batch boundaries (multiples of the lag); between batches,
+//    neighborhoods see the last snapshot and augment it with their own
+//    local accesses — "the local data is only augmented with global
+//    information in batches after a certain length of time has passed".
+//
+// Time must be fed in non-decreasing order, which the single-threaded
+// discrete-event simulation guarantees.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/ids.hpp"
+
+namespace vodcache::cache {
+
+class PopularityBoard {
+ public:
+  PopularityBoard(std::size_t program_count, sim::SimTime window,
+                  sim::SimTime lag);
+
+  // A session started anywhere in the system.
+  void record(ProgramId program, sim::SimTime t);
+
+  // Advance the clock (expiry + snapshot batching) without recording.
+  void advance(sim::SimTime t);
+
+  // Accesses for `program` visible to neighborhoods at time `t`:
+  // live in-window count when lag == 0, last snapshot otherwise.
+  [[nodiscard]] std::int64_t visible_count(ProgramId program, sim::SimTime t);
+
+  // Incremented every time a snapshot is published (lag > 0).
+  [[nodiscard]] std::uint64_t snapshot_epoch() const { return epoch_; }
+
+  [[nodiscard]] sim::SimTime window() const { return window_; }
+  [[nodiscard]] sim::SimTime lag() const { return lag_; }
+  [[nodiscard]] std::size_t program_count() const { return live_.size(); }
+
+  // Live-mode change notifications: called as (program, time) whenever the
+  // live count of `program` changes.  Only fired when lag == 0.
+  void subscribe(std::function<void(ProgramId, sim::SimTime)> callback);
+
+ private:
+  void expire(sim::SimTime cutoff, sim::SimTime now);
+  void publish_snapshots(sim::SimTime t);
+  void notify(ProgramId program, sim::SimTime t);
+
+  struct Event {
+    sim::SimTime time;
+    ProgramId program;
+  };
+
+  sim::SimTime window_;
+  sim::SimTime lag_;
+  std::deque<Event> events_;
+  std::vector<std::int64_t> live_;
+  std::vector<std::int64_t> snapshot_;
+  sim::SimTime next_batch_;
+  std::uint64_t epoch_ = 0;
+  std::vector<std::function<void(ProgramId, sim::SimTime)>> subscribers_;
+};
+
+}  // namespace vodcache::cache

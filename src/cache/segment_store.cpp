@@ -1,0 +1,187 @@
+#include "cache/segment_store.hpp"
+
+#include <algorithm>
+
+namespace vodcache::cache {
+
+SegmentStore::SegmentStore(std::vector<DataSize> peer_contributions)
+    : contribution_(std::move(peer_contributions)),
+      used_by_peer_(contribution_.size()) {
+  VODCACHE_EXPECTS(!contribution_.empty());
+  for (std::size_t i = 0; i < contribution_.size(); ++i) {
+    VODCACHE_EXPECTS(contribution_[i] >= DataSize{});
+    capacity_ += contribution_[i];
+    push_heap_entry(static_cast<std::uint32_t>(i));
+  }
+}
+
+void SegmentStore::push_heap_entry(std::uint32_t peer) {
+  const DataSize free = contribution_[peer] - used_by_peer_[peer];
+  free_heap_.emplace(free.bit_count(), peer);
+}
+
+std::optional<PeerId> SegmentStore::best_peer(
+    DataSize bytes, const std::vector<PeerId>& exclude) {
+  // Valid-but-excluded entries are parked and re-pushed afterwards so the
+  // heap keeps its "true maximum always present" invariant.
+  std::vector<HeapEntry> parked;
+  std::optional<PeerId> chosen;
+  while (!free_heap_.empty()) {
+    const auto [claimed_free, peer] = free_heap_.top();
+    const DataSize actual_free = contribution_[peer] - used_by_peer_[peer];
+    if (claimed_free != actual_free.bit_count()) {
+      // Stale entry; a fresh one was pushed when the peer last changed.
+      free_heap_.pop();
+      continue;
+    }
+    if (actual_free < bytes) break;  // max free can't fit
+    if (std::find(exclude.begin(), exclude.end(), PeerId{peer}) !=
+        exclude.end()) {
+      parked.push_back(free_heap_.top());
+      free_heap_.pop();
+      continue;
+    }
+    chosen = PeerId{peer};
+    break;
+  }
+  for (const auto& entry : parked) free_heap_.push(entry);
+  return chosen;
+}
+
+bool SegmentStore::contains(SegmentKey key) const {
+  return location_.contains(key);
+}
+
+const std::vector<PeerId>& SegmentStore::locate(SegmentKey key) const {
+  static const std::vector<PeerId> kNone;
+  const auto it = location_.find(key);
+  return it == location_.end() ? kNone : it->second;
+}
+
+bool SegmentStore::has_program(ProgramId program) const {
+  return by_program_.contains(program);
+}
+
+std::optional<PeerId> SegmentStore::store(SegmentKey key, DataSize bytes) {
+  VODCACHE_EXPECTS(bytes > DataSize{});
+  auto& replicas = location_[key];
+  const auto peer = best_peer(bytes, replicas);
+  if (!peer) {
+    if (replicas.empty()) location_.erase(key);
+    return std::nullopt;
+  }
+
+  const auto p = peer->value();
+  used_by_peer_[p] += bytes;
+  used_ += bytes;
+  push_heap_entry(p);
+
+  replicas.push_back(*peer);
+  by_program_[key.program].push_back({key.index, *peer, bytes});
+  return peer;
+}
+
+DataSize SegmentStore::evict_program(ProgramId program) {
+  // Release the whole-program commitment (if any) even when no segment has
+  // materialized yet.
+  if (const auto committed = commitment_.find(program);
+      committed != commitment_.end()) {
+    committed_total_ -= committed->second;
+    commitment_.erase(committed);
+  }
+  const auto it = by_program_.find(program);
+  if (it == by_program_.end()) return DataSize{};
+  DataSize freed;
+  for (const auto& segment : it->second) {
+    const auto p = segment.peer.value();
+    used_by_peer_[p] -= segment.bytes;
+    used_ -= segment.bytes;
+    push_heap_entry(p);
+    freed += segment.bytes;
+    location_.erase(SegmentKey{program, segment.index});
+  }
+  by_program_.erase(it);
+  VODCACHE_ENSURES(used_ >= DataSize{});
+  return freed;
+}
+
+SegmentStore::WipeResult SegmentStore::wipe_peer(PeerId peer) {
+  VODCACHE_EXPECTS(peer.value() < used_by_peer_.size());
+  WipeResult result;
+  for (auto it = by_program_.begin(); it != by_program_.end();) {
+    auto& segments = it->second;
+    for (const auto& segment : segments) {
+      if (segment.peer != peer) continue;
+      result.freed += segment.bytes;
+      // Drop this replica from the location index.
+      const SegmentKey key{it->first, segment.index};
+      auto& replicas = location_.at(key);
+      std::erase(replicas, peer);
+      if (replicas.empty()) location_.erase(key);
+    }
+    std::erase_if(segments,
+                  [peer](const StoredSegment& s) { return s.peer == peer; });
+    if (segments.empty()) {
+      result.emptied_programs.push_back(it->first);
+      it = by_program_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  used_by_peer_[peer.value()] -= result.freed;
+  used_ -= result.freed;
+  push_heap_entry(peer.value());
+  VODCACHE_ENSURES(used_by_peer_[peer.value()] >= DataSize{});
+  return result;
+}
+
+void SegmentStore::commit_program(ProgramId program, DataSize full_size) {
+  VODCACHE_EXPECTS(full_size > DataSize{});
+  VODCACHE_EXPECTS(!has_commitment(program));
+  commitment_.emplace(program, full_size);
+  committed_total_ += full_size;
+}
+
+bool SegmentStore::has_commitment(ProgramId program) const {
+  return commitment_.contains(program);
+}
+
+bool SegmentStore::can_place(SegmentKey key, DataSize bytes) {
+  VODCACHE_EXPECTS(bytes > DataSize{});
+  const auto it = location_.find(key);
+  static const std::vector<PeerId> kNone;
+  const auto& exclude = it == location_.end() ? kNone : it->second;
+  return best_peer(bytes, exclude).has_value();
+}
+
+std::size_t SegmentStore::replica_count(SegmentKey key) const {
+  const auto it = location_.find(key);
+  return it == location_.end() ? 0 : it->second.size();
+}
+
+DataSize SegmentStore::peer_used(PeerId peer) const {
+  VODCACHE_EXPECTS(peer.value() < used_by_peer_.size());
+  return used_by_peer_[peer.value()];
+}
+
+DataSize SegmentStore::peer_contribution(PeerId peer) const {
+  VODCACHE_EXPECTS(peer.value() < contribution_.size());
+  return contribution_[peer.value()];
+}
+
+DataSize SegmentStore::program_bytes(ProgramId program) const {
+  const auto it = by_program_.find(program);
+  if (it == by_program_.end()) return DataSize{};
+  DataSize total;
+  for (const auto& segment : it->second) total += segment.bytes;
+  return total;
+}
+
+std::vector<ProgramId> SegmentStore::stored_programs() const {
+  std::vector<ProgramId> out;
+  out.reserve(by_program_.size());
+  for (const auto& [program, segments] : by_program_) out.push_back(program);
+  return out;
+}
+
+}  // namespace vodcache::cache

@@ -1,0 +1,136 @@
+// SegmentStore: physical contents of one neighborhood's cooperative cache.
+//
+// Programs are divided into 5-minute segments and distributed among the
+// peers (paper section IV-B.1).  "Placement is not probabilistic.  Instead,
+// the index server places data to balance load, and keeps track of where
+// each program is located": each incoming segment goes to the peer with the
+// most free contributed storage; eviction is whole-program and frees every
+// peer's slice.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/ids.hpp"
+#include "util/units.hpp"
+
+namespace vodcache::cache {
+
+struct SegmentKey {
+  ProgramId program;
+  std::uint32_t index = 0;
+
+  friend bool operator==(SegmentKey, SegmentKey) = default;
+};
+
+struct SegmentKeyHash {
+  std::size_t operator()(SegmentKey key) const noexcept {
+    const std::uint64_t mixed =
+        (static_cast<std::uint64_t>(key.program.value()) << 32) | key.index;
+    return std::hash<std::uint64_t>{}(mixed);
+  }
+};
+
+class SegmentStore {
+ public:
+  // One entry per peer: its contributed storage.
+  explicit SegmentStore(std::vector<DataSize> peer_contributions);
+
+  [[nodiscard]] bool contains(SegmentKey key) const;
+  // All peers holding a replica of the segment (possibly empty).
+  [[nodiscard]] const std::vector<PeerId>& locate(SegmentKey key) const;
+
+  // True if any segment of the program is stored.
+  [[nodiscard]] bool has_program(ProgramId program) const;
+
+  // Stores a replica on the peer with most free space that does not already
+  // hold one.  Returns the chosen peer, or nullopt if no eligible peer can
+  // hold `bytes` (caller is expected to evict first).  Replicas of hot
+  // segments arise when every existing copy's peer is stream-saturated: the
+  // index server tells one more peer to read the (anyway happening) miss
+  // broadcast off the wire.
+  std::optional<PeerId> store(SegmentKey key, DataSize bytes);
+
+  // True iff store(key, bytes) would find a peer right now.  Placement is
+  // per-peer: aggregate free space can exceed `bytes` while no single peer
+  // fits it (fragmentation), in which case eviction is still required.
+  [[nodiscard]] bool can_place(SegmentKey key, DataSize bytes);
+
+  // Whole-program admission accounting (paper section IV-B.1: the index
+  // server admits and deletes *programs*; segments then materialize from
+  // broadcasts).  A commitment charges the program's full size against
+  // capacity regardless of how many segments are stored yet.
+  void commit_program(ProgramId program, DataSize full_size);
+  [[nodiscard]] bool has_commitment(ProgramId program) const;
+  [[nodiscard]] DataSize committed_total() const { return committed_total_; }
+  [[nodiscard]] std::size_t committed_program_count() const {
+    return commitment_.size();
+  }
+
+  // Removes every segment of `program`; returns bytes freed.
+  DataSize evict_program(ProgramId program);
+
+  // Failure injection: drop every replica stored on `peer` (disk loss /
+  // box swap).  Whole-program commitments are left in place — the index
+  // server still considers those programs admitted and will re-fill them
+  // from future miss broadcasts.  Returns the programs that lost their
+  // *last* stored segment (callers running segment-granularity admission
+  // need to un-track those) and the bytes freed.
+  struct WipeResult {
+    DataSize freed;
+    std::vector<ProgramId> emptied_programs;
+  };
+  WipeResult wipe_peer(PeerId peer);
+
+  [[nodiscard]] DataSize used() const { return used_; }
+  [[nodiscard]] DataSize capacity() const { return capacity_; }
+  [[nodiscard]] DataSize free_space() const { return capacity_ - used_; }
+  [[nodiscard]] DataSize peer_used(PeerId peer) const;
+  [[nodiscard]] DataSize peer_contribution(PeerId peer) const;
+  [[nodiscard]] std::size_t peer_count() const { return used_by_peer_.size(); }
+
+  // Distinct segment keys stored (replicas count once).
+  [[nodiscard]] std::size_t stored_segment_count() const {
+    return location_.size();
+  }
+  [[nodiscard]] std::size_t replica_count(SegmentKey key) const;
+  [[nodiscard]] std::size_t stored_program_count() const {
+    return by_program_.size();
+  }
+  [[nodiscard]] DataSize program_bytes(ProgramId program) const;
+  [[nodiscard]] std::vector<ProgramId> stored_programs() const;
+
+ private:
+  struct StoredSegment {
+    std::uint32_t index;
+    PeerId peer;
+    DataSize bytes;
+  };
+
+  std::vector<DataSize> contribution_;
+  std::vector<DataSize> used_by_peer_;
+  DataSize capacity_;
+  DataSize used_;
+
+  std::unordered_map<SegmentKey, std::vector<PeerId>, SegmentKeyHash>
+      location_;
+  std::unordered_map<ProgramId, std::vector<StoredSegment>> by_program_;
+  std::unordered_map<ProgramId, DataSize> commitment_;
+  DataSize committed_total_;
+
+  // Lazy max-heap of (free bytes, peer): entries are revalidated on pop.
+  // Free space only changes via store/evict, both of which push a fresh
+  // entry, so the true maximum is always present in the heap.
+  using HeapEntry = std::pair<std::int64_t, std::uint32_t>;
+  std::priority_queue<HeapEntry> free_heap_;
+
+  [[nodiscard]] std::optional<PeerId> best_peer(DataSize bytes,
+                                                const std::vector<PeerId>& exclude);
+  void push_heap_entry(std::uint32_t peer);
+};
+
+}  // namespace vodcache::cache

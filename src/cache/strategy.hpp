@@ -1,0 +1,80 @@
+// Replacement-strategy interface (paper section IV-B.2 and VI-A).
+//
+// The index server consults a strategy for three things: recording the
+// popularity signal (one access per *session*, matching the paper's use of
+// "accesses"), scoring a program's retention value, and nominating the
+// cheapest cached program to evict.  The segment store performs the actual
+// evictions and reports admissions back, so a strategy always knows the
+// current cached set.
+//
+// Scores are ordered pairs: bigger means more valuable.  LFU's "ties are
+// resolved using an LRU strategy" falls out of the pair comparison
+// (primary = frequency, secondary = recency sequence number).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+#include "cache/victim_index.hpp"
+#include "sim/time.hpp"
+#include "util/ids.hpp"
+
+namespace vodcache::cache {
+
+using Score = std::pair<std::int64_t, std::int64_t>;
+
+class ReplacementStrategy {
+ public:
+  virtual ~ReplacementStrategy() = default;
+
+  ReplacementStrategy() = default;
+  ReplacementStrategy(const ReplacementStrategy&) = delete;
+  ReplacementStrategy& operator=(const ReplacementStrategy&) = delete;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  // A session for `program` started at `t` in this neighborhood.
+  virtual void record_access(ProgramId program, sim::SimTime t) = 0;
+
+  // Current retention value of `program` (cached or candidate).
+  [[nodiscard]] virtual Score score(ProgramId program, sim::SimTime t) = 0;
+
+  // The cached program with the lowest score, if any program is cached.
+  [[nodiscard]] virtual std::optional<ProgramId> victim(sim::SimTime t) = 0;
+
+  // Store feedback: `program` gained its first stored segment / lost all.
+  virtual void on_admit(ProgramId program, sim::SimTime t) = 0;
+  virtual void on_evict(ProgramId program) = 0;
+
+  [[nodiscard]] virtual bool is_cached(ProgramId program) const = 0;
+  [[nodiscard]] virtual std::size_t cached_count() const = 0;
+};
+
+// Common machinery: the cached-set score index plus a monotone access
+// sequence for recency tie-breaking.
+class ScoredStrategy : public ReplacementStrategy {
+ public:
+  [[nodiscard]] std::optional<ProgramId> victim(sim::SimTime t) override;
+  void on_admit(ProgramId program, sim::SimTime t) override;
+  void on_evict(ProgramId program) override;
+  [[nodiscard]] bool is_cached(ProgramId program) const override;
+  [[nodiscard]] std::size_t cached_count() const override;
+
+ protected:
+  [[nodiscard]] std::int64_t next_sequence() { return ++sequence_; }
+  [[nodiscard]] std::int64_t current_sequence() const { return sequence_; }
+  [[nodiscard]] CachedSet& cached() { return cached_; }
+  [[nodiscard]] const CachedSet& cached() const { return cached_; }
+
+  // Hook for strategies that refresh lazily (oracle, lagged global LFU)
+  // before the cached-set ordering is consulted.
+  virtual void refresh(sim::SimTime /*t*/) {}
+
+ private:
+  CachedSet cached_;
+  std::int64_t sequence_ = 0;
+};
+
+}  // namespace vodcache::cache

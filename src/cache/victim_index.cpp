@@ -1,0 +1,49 @@
+#include "cache/victim_index.hpp"
+
+namespace vodcache::cache {
+
+void CachedSet::insert(ProgramId program, Score score) {
+  VODCACHE_EXPECTS(!contains(program));
+  by_program_.emplace(program, score);
+  by_score_.emplace(score, program);
+}
+
+void CachedSet::erase(ProgramId program) {
+  const auto it = by_program_.find(program);
+  VODCACHE_EXPECTS(it != by_program_.end());
+  by_score_.erase({it->second, program});
+  by_program_.erase(it);
+}
+
+void CachedSet::update(ProgramId program, Score score) {
+  const auto it = by_program_.find(program);
+  if (it == by_program_.end()) return;
+  if (it->second == score) return;
+  by_score_.erase({it->second, program});
+  it->second = score;
+  by_score_.emplace(score, program);
+}
+
+bool CachedSet::contains(ProgramId program) const {
+  return by_program_.contains(program);
+}
+
+std::optional<CachedSet::Score> CachedSet::score_of(ProgramId program) const {
+  const auto it = by_program_.find(program);
+  if (it == by_program_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<ProgramId> CachedSet::min() const {
+  if (by_score_.empty()) return std::nullopt;
+  return by_score_.begin()->second;
+}
+
+std::vector<ProgramId> CachedSet::programs() const {
+  std::vector<ProgramId> out;
+  out.reserve(by_program_.size());
+  for (const auto& [program, score] : by_program_) out.push_back(program);
+  return out;
+}
+
+}  // namespace vodcache::cache

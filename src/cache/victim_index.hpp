@@ -1,0 +1,45 @@
+// CachedSet: the set of cached programs ordered by retention score.
+//
+// An exact ordered index (map + mirrored ordered set) rather than a lazy
+// heap: strategy scores can *decrease* (LFU history expiry, oracle horizon
+// drift), which breaks pop-and-revalidate heaps.  Sizes are small (a 10 TB
+// cache holds a few thousand programs), so O(log n) updates are cheap.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/ids.hpp"
+
+namespace vodcache::cache {
+
+class CachedSet {
+ public:
+  using Score = std::pair<std::int64_t, std::int64_t>;
+
+  void insert(ProgramId program, Score score);
+  void erase(ProgramId program);
+  // Updates the score if the program is present; no-op otherwise.
+  void update(ProgramId program, Score score);
+
+  [[nodiscard]] bool contains(ProgramId program) const;
+  [[nodiscard]] std::optional<Score> score_of(ProgramId program) const;
+  [[nodiscard]] std::size_t size() const { return by_program_.size(); }
+  [[nodiscard]] bool empty() const { return by_program_.empty(); }
+
+  // Program with the smallest score (evict-first candidate).
+  [[nodiscard]] std::optional<ProgramId> min() const;
+
+  [[nodiscard]] std::vector<ProgramId> programs() const;
+
+ private:
+  std::unordered_map<ProgramId, Score> by_program_;
+  std::set<std::pair<Score, ProgramId>> by_score_;
+};
+
+}  // namespace vodcache::cache

@@ -1,0 +1,51 @@
+#include "core/config.hpp"
+
+#include "util/assert.hpp"
+
+namespace vodcache::core {
+
+const char* to_string(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::None:
+      return "None";
+    case StrategyKind::Lru:
+      return "LRU";
+    case StrategyKind::Lfu:
+      return "LFU";
+    case StrategyKind::Oracle:
+      return "Oracle";
+    case StrategyKind::GlobalLfu:
+      return "GlobalLFU";
+  }
+  return "?";
+}
+
+const char* to_string(CacheAdmission admission) {
+  switch (admission) {
+    case CacheAdmission::WholeProgram:
+      return "whole-program";
+    case CacheAdmission::Segment:
+      return "segment";
+  }
+  return "?";
+}
+
+void SystemConfig::validate() const {
+  VODCACHE_EXPECTS(neighborhood_size > 0);
+  VODCACHE_EXPECTS(per_peer_storage >= DataSize{});
+  VODCACHE_EXPECTS(peer_stream_limit >= 0);
+  VODCACHE_EXPECTS(stream_rate.bps() > 0.0);
+  VODCACHE_EXPECTS(segment_duration > sim::SimTime{});
+  VODCACHE_EXPECTS(meter_bucket > sim::SimTime{});
+  VODCACHE_EXPECTS(strategy.lfu_history >= sim::SimTime{});
+  VODCACHE_EXPECTS(strategy.oracle_lookahead > sim::SimTime{});
+  VODCACHE_EXPECTS(strategy.oracle_refresh > sim::SimTime{});
+  VODCACHE_EXPECTS(strategy.global_lag >= sim::SimTime{});
+  VODCACHE_EXPECTS(warmup >= sim::SimTime{});
+  for (const auto& failure : peer_failures) {
+    VODCACHE_EXPECTS(failure.fraction >= 0.0 && failure.fraction <= 1.0);
+    VODCACHE_EXPECTS(failure.time >= sim::SimTime{});
+  }
+}
+
+}  // namespace vodcache::core

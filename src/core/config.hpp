@@ -1,0 +1,119 @@
+// System configuration: every knob the paper's evaluation sweeps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hfc/topology.hpp"
+#include "sim/time.hpp"
+#include "util/units.hpp"
+
+namespace vodcache::core {
+
+enum class StrategyKind {
+  // No caching at all: every request goes to the central server (the
+  // paper's 17 Gb/s "no cache" baseline line).
+  None,
+  Lru,
+  Lfu,
+  Oracle,
+  GlobalLfu,
+};
+
+[[nodiscard]] const char* to_string(StrategyKind kind);
+
+// What the index server admits and evicts as a unit.
+enum class CacheAdmission {
+  // Paper behaviour (section IV-B.1): a program is admitted whole — its
+  // full size is charged against cache capacity immediately, evicting
+  // victims as needed — and its segments then materialize from broadcasts.
+  WholeProgram,
+  // Ablation: charge only the bytes of segments actually stored.  The same
+  // capacity then holds the hot *prefixes* of ~2-3x more programs (most
+  // sessions are short), trading paper fidelity for efficiency.
+  Segment,
+};
+
+[[nodiscard]] const char* to_string(CacheAdmission admission);
+
+struct StrategyConfig {
+  StrategyKind kind = StrategyKind::Lfu;
+  // LFU/GlobalLFU: length of the access history ("N hours").  The paper's
+  // figure 11 sweeps 0..12 days and finds 2-7 days the sweet spot.
+  sim::SimTime lfu_history = sim::SimTime::hours(72);
+  // Oracle: how far ahead the impossible strategy looks (paper: 3 days).
+  sim::SimTime oracle_lookahead = sim::SimTime::days(3);
+  sim::SimTime oracle_refresh = sim::SimTime::hours(1);
+  // GlobalLFU: batching lag for global popularity (0 = continuous).
+  sim::SimTime global_lag;
+};
+
+struct SystemConfig {
+  // Topology sizing (paper: "typical real world sizes ... between 100 and
+  // 1,000 subscribers").
+  std::uint32_t neighborhood_size = 1000;
+
+  // Per-peer storage contribution (paper: at most 10 GB of a ~40 GB disk).
+  DataSize per_peer_storage = DataSize::gigabytes(10);
+
+  // "Typical set top boxes cannot receive data on more than two logical
+  // channels ... limit each set top box so that it can only be active on
+  // two streams."
+  int peer_stream_limit = 2;
+
+  // "Data is transmitted at a rate of 8.06 Mb/s", the minimum rate for
+  // uninterrupted high-quality MPEG-2 SDTV playback.
+  DataRate stream_rate = DataRate::megabits_per_second(8.06);
+
+  // Extension (off by default to match the paper): when every replica of a
+  // cached segment is stream-saturated (busy miss), let the index server
+  // tell one more peer to read the miss broadcast off the wire, adaptively
+  // replicating hot segments.  See bench_ablation_replication.
+  bool replicate_on_busy = false;
+
+  // Admission/eviction granularity; see CacheAdmission.
+  CacheAdmission admission = CacheAdmission::WholeProgram;
+
+  // Failure injection: at `time`, each peer in every neighborhood loses its
+  // disk contents independently with probability `fraction` (deterministic
+  // per `seed`).  The paper assumes always-on boxes with no churn; this
+  // extension measures how the cooperative cache self-heals when that
+  // assumption breaks.
+  struct PeerFailure {
+    sim::SimTime time;
+    double fraction = 0.0;
+    std::uint64_t seed = 0xFA11;
+  };
+  std::vector<PeerFailure> peer_failures;
+
+  // "Programs are divided into 5 minute segments."
+  sim::SimTime segment_duration = sim::SimTime::minutes(5);
+
+  StrategyConfig strategy;
+
+  // Evening peak window used for all reported statistics (see DESIGN.md on
+  // the paper's 7-11 PM / "three hour period" ambiguity).
+  sim::HourWindow peak_window{19, 22};
+
+  // Bandwidth-accounting bucket (matches the paper's 15-minute figure 2
+  // granularity and its per-sample quantile error bars).
+  sim::SimTime meter_bucket = sim::SimTime::minutes(15);
+
+  // Cache warmup: measurement starts this far into the trace so that the
+  // paper's steady-state numbers are not diluted by the initially-empty
+  // cache.  (The paper replays 7 months, where warmup is negligible; our
+  // default workload is weeks.)  Clamped to at most half the horizon.
+  sim::SimTime warmup = sim::SimTime::days(7);
+
+  // Coax plant parameters, for feasibility reporting (figure 14).
+  hfc::CoaxSpec coax;
+
+  // Total cache capacity of a (full) neighborhood.
+  [[nodiscard]] DataSize neighborhood_cache_capacity() const {
+    return per_peer_storage * neighborhood_size;
+  }
+
+  void validate() const;
+};
+
+}  // namespace vodcache::core

@@ -1,0 +1,174 @@
+#include "core/index_server.hpp"
+
+#include "util/assert.hpp"
+
+namespace vodcache::core {
+
+namespace {
+
+std::vector<DataSize> contributions(std::uint32_t peer_count,
+                                    DataSize per_peer) {
+  return std::vector<DataSize>(peer_count, per_peer);
+}
+
+}  // namespace
+
+IndexServer::IndexServer(NeighborhoodId id, std::uint32_t peer_count,
+                         const SystemConfig& config,
+                         std::unique_ptr<cache::ReplacementStrategy> strategy,
+                         MediaServer& media_server, sim::SimTime horizon)
+    : id_(id),
+      config_(config),
+      strategy_(std::move(strategy)),
+      media_server_(media_server),
+      store_(contributions(peer_count, config.per_peer_storage)),
+      coax_meter_(horizon, config.meter_bucket),
+      peer_meter_(horizon, config.meter_bucket) {
+  VODCACHE_EXPECTS(peer_count > 0);
+  peers_.reserve(peer_count);
+  for (std::uint32_t i = 0; i < peer_count; ++i) {
+    peers_.emplace_back(PeerId{i}, config.per_peer_storage,
+                        config.peer_stream_limit);
+  }
+}
+
+bool IndexServer::start_session(ProgramId program, DataSize program_size,
+                                sim::SimTime t) {
+  ++counters_.sessions;
+  if (strategy_ == nullptr) return false;  // StrategyKind::None
+  strategy_->record_access(program, t);
+
+  if (config_.admission == CacheAdmission::WholeProgram) {
+    // Already admitted: keep filling it.
+    if (store_.has_commitment(program)) return true;
+    // Charge the whole program against capacity now, evicting victims the
+    // strategy scores below it ("it locates a collection of peers to store
+    // the segments ... instruct peers to delete programs").
+    while (store_.committed_total() + program_size > store_.capacity()) {
+      const auto victim = strategy_->victim(t);
+      if (!victim) return false;  // program larger than the whole cache
+      if (*victim == program) return false;
+      if (strategy_->score(program, t) <= strategy_->score(*victim, t)) {
+        return false;
+      }
+      store_.evict_program(*victim);
+      strategy_->on_evict(*victim);
+      ++counters_.evictions;
+    }
+    store_.commit_program(program, program_size);
+    strategy_->on_admit(program, t);
+    return true;
+  }
+
+  // Segment-granularity ablation.
+  // Already (partially) cached: keep filling it.
+  if (store_.has_program(program)) return true;
+  // Free space: caching one more program costs nothing.
+  if (store_.free_space() > DataSize{}) return true;
+  // Full: admit only if the program outranks the current victim.
+  const auto victim = strategy_->victim(t);
+  if (!victim) return false;
+  return strategy_->score(program, t) > strategy_->score(*victim, t);
+}
+
+void IndexServer::occupy_viewer_slot(PeerId viewer, sim::Interval interval) {
+  VODCACHE_EXPECTS(viewer.value() < peers_.size());
+  peers_[viewer.value()].slots().acquire_unchecked(interval);
+}
+
+void IndexServer::fail_peer(PeerId peer) {
+  VODCACHE_EXPECTS(peer.value() < peers_.size());
+  const auto wiped = store_.wipe_peer(peer);
+  ++counters_.peer_failures;
+  counters_.wiped_bytes += wiped.freed.byte_count();
+  if (strategy_ != nullptr &&
+      config_.admission == CacheAdmission::Segment) {
+    for (const ProgramId program : wiped.emptied_programs) {
+      if (strategy_->is_cached(program)) strategy_->on_evict(program);
+    }
+  }
+}
+
+bool IndexServer::make_room(cache::SegmentKey key, DataSize bytes,
+                            sim::SimTime t) {
+  while (!store_.can_place(key, bytes)) {
+    const auto victim = strategy_->victim(t);
+    if (!victim) return false;  // nothing cached, yet no room: bytes > capacity
+    if (*victim == key.program) return false;  // would evict ourselves
+    if (strategy_->score(key.program, t) <= strategy_->score(*victim, t)) {
+      return false;  // incoming does not outrank the cheapest cached program
+    }
+    store_.evict_program(*victim);
+    strategy_->on_evict(*victim);
+    ++counters_.evictions;
+  }
+  return true;
+}
+
+void IndexServer::try_fill(cache::SegmentKey key, DataSize bytes,
+                           sim::SimTime t) {
+  if (strategy_ == nullptr) return;
+  if (config_.admission == CacheAdmission::WholeProgram &&
+      !store_.has_commitment(key.program)) {
+    // The session's admit decision went stale: the program was evicted
+    // mid-session (or replication pushed past its commitment).
+    return;
+  }
+  if (!make_room(key, bytes, t)) return;
+  const auto peer = store_.store(key, bytes);
+  VODCACHE_ASSERT(peer.has_value());  // make_room guaranteed placement
+  if (store_.has_program(key.program) &&
+      !strategy_->is_cached(key.program)) {
+    strategy_->on_admit(key.program, t);
+  }
+  ++counters_.fills;
+}
+
+ServeResult IndexServer::serve_segment(PeerId viewer, cache::SegmentKey key,
+                                       sim::Interval interval, bool admit,
+                                       bool full_slice) {
+  VODCACHE_EXPECTS(viewer.value() < peers_.size());
+  VODCACHE_EXPECTS(interval.valid());
+  ++counters_.segments;
+
+  const DataRate rate = config_.stream_rate;
+  const double bits = rate.bps() * interval.duration_seconds();
+
+  // Broadcast coax carries the segment exactly once regardless of source
+  // (paper section VI-B: "each file must consume the same bandwidth whether
+  // it is sent from a peer or the index server").
+  coax_meter_.add(interval, rate);
+
+  const auto& replicas = store_.locate(key);
+  for (const PeerId replica : replicas) {
+    auto& slots = peers_[replica.value()].slots();
+    if (slots.try_acquire(interval)) {
+      ++counters_.hits;
+      counters_.hit_bits += bits;
+      peer_meter_.add(interval, rate);
+      return ServeResult::PeerHit;
+    }
+  }
+
+  const bool was_cached = !replicas.empty();
+  if (was_cached) {
+    ++counters_.busy_misses;
+  } else {
+    ++counters_.cold_misses;
+  }
+  counters_.miss_bits += bits;
+  media_server_.serve(interval, rate);
+
+  // Opportunistic fill off the broadcast: only whole segments, and only if
+  // the index server admitted the program for this session.  On a busy
+  // miss a fill adds a *replica* — every existing copy's peer was stream-
+  // saturated — which is only done when the replication extension is on.
+  if (admit && full_slice && (!was_cached || config_.replicate_on_busy)) {
+    const DataSize segment_bytes =
+        rate.over_seconds(interval.duration_seconds());
+    try_fill(key, segment_bytes, interval.begin);
+  }
+  return was_cached ? ServeResult::MissBusy : ServeResult::MissCold;
+}
+
+}  // namespace vodcache::core

@@ -1,0 +1,118 @@
+// The headend index server (paper section IV-B, figures 4 and 5).
+//
+// One per neighborhood.  It monitors every request to compute popularity,
+// dictates placement ("placement is not probabilistic"), and directs each
+// segment request:
+//
+//   hit  (fig 5): locate the storing peer; if it has a free stream slot it
+//                 broadcasts the segment on the coax.
+//   miss (fig 4): the central media server streams the segment over fiber
+//                 and the headend broadcasts it; if the program has been
+//                 admitted to the cache, a peer is told to read the same
+//                 broadcast off the wire and store it (no extra bandwidth).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/segment_store.hpp"
+#include "cache/strategy.hpp"
+#include "core/config.hpp"
+#include "core/media_server.hpp"
+#include "hfc/settop.hpp"
+#include "sim/rate_meter.hpp"
+
+namespace vodcache::core {
+
+enum class ServeResult {
+  // A peer broadcast the segment from its cache slice.
+  PeerHit,
+  // Segment not in the neighborhood cache; central server streamed it.
+  MissCold,
+  // Segment cached, but the storing peer was at its stream limit
+  // (section V-C: "the cache will trigger a miss if a segment is requested
+  // from a peer that has more than two active streams").
+  MissBusy,
+};
+
+class IndexServer {
+ public:
+  IndexServer(NeighborhoodId id, std::uint32_t peer_count,
+              const SystemConfig& config,
+              std::unique_ptr<cache::ReplacementStrategy> strategy,
+              MediaServer& media_server, sim::SimTime horizon);
+
+  // Session begins: records the popularity signal and decides whether this
+  // program should (now) be in the cache.  `program_size` is the program's
+  // full footprint at the stream rate (whole-program admission charges it
+  // against capacity immediately).  The decision holds for the whole
+  // session's opportunistic fills.
+  [[nodiscard]] bool start_session(ProgramId program, DataSize program_size,
+                                   sim::SimTime t);
+
+  // Serve one segment transmission for a viewer in this neighborhood.
+  // `full_slice` says the transmission covers the segment's entire nominal
+  // duration (only fully-broadcast segments can be cached off the wire).
+  ServeResult serve_segment(PeerId viewer, cache::SegmentKey key,
+                            sim::Interval interval, bool admit,
+                            bool full_slice);
+
+  // Viewer playback always occupies a receive slot on the viewer's box for
+  // the whole session (counts against its limit when asked to serve).
+  void occupy_viewer_slot(PeerId viewer, sim::Interval interval);
+
+  // Failure injection: the peer's disk contents are lost (box swap/crash).
+  // Whole-program admissions survive (the index server re-fills from
+  // future broadcasts); under segment-granularity admission, programs that
+  // lost their last segment are dropped from the strategy's cached set.
+  void fail_peer(PeerId peer);
+
+  [[nodiscard]] NeighborhoodId id() const { return id_; }
+  [[nodiscard]] std::uint32_t peer_count() const {
+    return static_cast<std::uint32_t>(peers_.size());
+  }
+  [[nodiscard]] const cache::SegmentStore& store() const { return store_; }
+  [[nodiscard]] const cache::ReplacementStrategy& strategy() const {
+    return *strategy_;
+  }
+  // All traffic on this neighborhood's coax (hits and misses alike).
+  [[nodiscard]] const sim::RateMeter& coax_meter() const { return coax_meter_; }
+  // The peer-originated share of that traffic (hits only).
+  [[nodiscard]] const sim::RateMeter& peer_meter() const { return peer_meter_; }
+
+  struct Counters {
+    std::uint64_t sessions = 0;
+    std::uint64_t segments = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t cold_misses = 0;
+    std::uint64_t busy_misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t fills = 0;
+    std::uint64_t peer_failures = 0;
+    double hit_bits = 0.0;
+    double miss_bits = 0.0;
+    double wiped_bytes = 0.0;
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  // Evict strictly-lower-scored programs until the store can physically
+  // place `bytes` for `key` (per-peer placement: aggregate free space is
+  // not enough).  Returns false if the incoming program stops outranking
+  // the next victim first.
+  bool make_room(cache::SegmentKey key, DataSize bytes, sim::SimTime t);
+  void try_fill(cache::SegmentKey key, DataSize bytes, sim::SimTime t);
+
+  NeighborhoodId id_;
+  const SystemConfig& config_;
+  std::unique_ptr<cache::ReplacementStrategy> strategy_;
+  MediaServer& media_server_;
+  cache::SegmentStore store_;
+  std::vector<hfc::SetTopBox> peers_;
+  sim::RateMeter coax_meter_;
+  sim::RateMeter peer_meter_;
+  Counters counters_;
+};
+
+}  // namespace vodcache::core

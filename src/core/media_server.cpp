@@ -1,0 +1,14 @@
+#include "core/media_server.hpp"
+
+namespace vodcache::core {
+
+MediaServer::MediaServer(sim::SimTime horizon, sim::SimTime bucket)
+    : meter_(horizon, bucket) {}
+
+void MediaServer::serve(sim::Interval interval, DataRate rate) {
+  meter_.add(interval, rate);
+  ++transmissions_;
+  bits_served_ += rate.bps() * interval.duration_seconds();
+}
+
+}  // namespace vodcache::core

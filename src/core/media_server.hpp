@@ -1,0 +1,30 @@
+// The cable operator's central media server (paper figure 1, top of the
+// hierarchy).  Every cache miss streams from here over the switched fiber
+// network; the whole evaluation measures the rate this server must sustain.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rate_meter.hpp"
+#include "util/units.hpp"
+
+namespace vodcache::core {
+
+class MediaServer {
+ public:
+  MediaServer(sim::SimTime horizon, sim::SimTime bucket);
+
+  // Stream one segment transmission to a headend.
+  void serve(sim::Interval interval, DataRate rate);
+
+  [[nodiscard]] const sim::RateMeter& meter() const { return meter_; }
+  [[nodiscard]] std::uint64_t transmissions() const { return transmissions_; }
+  [[nodiscard]] double bits_served() const { return bits_served_; }
+
+ private:
+  sim::RateMeter meter_;
+  std::uint64_t transmissions_ = 0;
+  double bits_served_ = 0.0;
+};
+
+}  // namespace vodcache::core

@@ -1,0 +1,40 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+namespace vodcache::core {
+
+double SimulationReport::hit_ratio() const {
+  const std::uint64_t total = hits + cold_misses + busy_misses;
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+double SimulationReport::byte_hit_ratio() const {
+  const double total = peer_bits + server_bits;
+  return total <= 0.0 ? 0.0 : peer_bits / total;
+}
+
+double SimulationReport::reduction_vs(DataRate no_cache_peak_mean) const {
+  if (no_cache_peak_mean.bps() <= 0.0) return 0.0;
+  return 1.0 - server_peak.mean.bps() / no_cache_peak_mean.bps();
+}
+
+std::string SimulationReport::to_string() const {
+  std::ostringstream out;
+  out << "strategy=" << core::to_string(strategy)
+      << " users=" << user_count
+      << " neighborhoods=" << neighborhood_count << '\n';
+  out << "peak server rate: mean=" << server_peak.mean.gbps()
+      << " Gb/s  q05=" << server_peak.q05.gbps()
+      << "  q95=" << server_peak.q95.gbps()
+      << "  max=" << server_peak.max.gbps() << '\n';
+  out << "peak coax rate (pooled): mean=" << coax_peak_pooled.mean.mbps()
+      << " Mb/s  q95=" << coax_peak_pooled.q95.mbps() << " Mb/s\n";
+  out << "sessions=" << sessions << " segments=" << segments
+      << " hits=" << hits << " cold=" << cold_misses
+      << " busy=" << busy_misses << " hit_ratio=" << hit_ratio() << '\n';
+  return out.str();
+}
+
+}  // namespace vodcache::core

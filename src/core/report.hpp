@@ -1,0 +1,76 @@
+// SimulationReport: everything the paper's figures read off a run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "sim/peak_stats.hpp"
+#include "util/units.hpp"
+
+namespace vodcache::core {
+
+struct NeighborhoodReport {
+  std::uint32_t peer_count = 0;
+  // Total coax traffic during the peak window (figure 14).
+  sim::PeakStats coax_peak;
+  // Peer-originated (upstream-path) share of that traffic.
+  sim::PeakStats peer_peak;
+  // What this neighborhood's headend pulls over the switched fiber — the
+  // miss traffic (coax minus peer-served), i.e. the per-headend share of
+  // the central server load.  Sizes the operator's fiber provisioning.
+  sim::PeakStats fiber_peak;
+  std::uint64_t sessions = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t cold_misses = 0;
+  std::uint64_t busy_misses = 0;
+  DataSize cache_used;
+  DataSize cache_capacity;
+};
+
+struct SimulationReport {
+  // Central server load during the peak window: the paper's headline
+  // metric ("Average Server Rate (Gb/s)" with 5%/95% error bars).
+  sim::PeakStats server_peak;
+  // Mean server rate per hour of day (figure 7 shape).
+  std::vector<DataRate> server_hourly;
+
+  // Coax peak-window samples pooled across all neighborhoods (figure 14's
+  // average and "poor cases").
+  sim::PeakStats coax_peak_pooled;
+
+  std::vector<NeighborhoodReport> neighborhoods;
+
+  // Totals.
+  std::uint64_t sessions = 0;
+  std::uint64_t segments = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t cold_misses = 0;
+  std::uint64_t busy_misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t fills = 0;
+  std::uint64_t peer_failures = 0;
+  double wiped_bytes = 0.0;
+  double server_bits = 0.0;
+  double peer_bits = 0.0;
+  double coax_bits = 0.0;
+
+  // Echo of the run setup.
+  std::uint32_t neighborhood_count = 0;
+  std::uint32_t user_count = 0;
+  StrategyKind strategy = StrategyKind::None;
+  // Peak statistics exclude buckets before this time (warmup).
+  sim::SimTime measured_from;
+
+  [[nodiscard]] double hit_ratio() const;
+  // Fraction of all bits served by peers instead of the central server.
+  [[nodiscard]] double byte_hit_ratio() const;
+  // Server-load reduction relative to a no-cache baseline peak mean.
+  [[nodiscard]] double reduction_vs(DataRate no_cache_peak_mean) const;
+
+  // Multi-line human-readable summary.
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace vodcache::core

@@ -1,0 +1,85 @@
+#include "core/report_json.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace vodcache::core {
+
+namespace {
+
+void write_peak(std::ostream& out, const char* name,
+                const sim::PeakStats& peak) {
+  out << '"' << name << "\":{"
+      << "\"mean_bps\":" << peak.mean.bps() << ","
+      << "\"q05_bps\":" << peak.q05.bps() << ","
+      << "\"q95_bps\":" << peak.q95.bps() << ","
+      << "\"max_bps\":" << peak.max.bps() << ","
+      << "\"samples\":" << peak.sample_count << '}';
+}
+
+}  // namespace
+
+void write_json(const SimulationReport& report, std::ostream& out,
+                bool include_neighborhoods) {
+  out << "{";
+  out << "\"strategy\":\"" << to_string(report.strategy) << "\",";
+  out << "\"user_count\":" << report.user_count << ",";
+  out << "\"neighborhood_count\":" << report.neighborhood_count << ",";
+  out << "\"measured_from_ms\":" << report.measured_from.millis_count()
+      << ",";
+  write_peak(out, "server_peak", report.server_peak);
+  out << ",";
+  write_peak(out, "coax_peak_pooled", report.coax_peak_pooled);
+  out << ",";
+
+  out << "\"server_hourly_bps\":[";
+  for (std::size_t h = 0; h < report.server_hourly.size(); ++h) {
+    out << (h ? "," : "") << report.server_hourly[h].bps();
+  }
+  out << "],";
+
+  out << "\"sessions\":" << report.sessions << ","
+      << "\"segments\":" << report.segments << ","
+      << "\"hits\":" << report.hits << ","
+      << "\"cold_misses\":" << report.cold_misses << ","
+      << "\"busy_misses\":" << report.busy_misses << ","
+      << "\"evictions\":" << report.evictions << ","
+      << "\"fills\":" << report.fills << ","
+      << "\"peer_failures\":" << report.peer_failures << ","
+      << "\"wiped_bytes\":" << report.wiped_bytes << ","
+      << "\"server_bits\":" << report.server_bits << ","
+      << "\"peer_bits\":" << report.peer_bits << ","
+      << "\"coax_bits\":" << report.coax_bits << ","
+      << "\"hit_ratio\":" << report.hit_ratio() << ","
+      << "\"byte_hit_ratio\":" << report.byte_hit_ratio();
+
+  if (include_neighborhoods) {
+    out << ",\"neighborhoods\":[";
+    for (std::size_t i = 0; i < report.neighborhoods.size(); ++i) {
+      const auto& n = report.neighborhoods[i];
+      out << (i ? "," : "") << "{\"peers\":" << n.peer_count << ",";
+      write_peak(out, "coax_peak", n.coax_peak);
+      out << ",";
+      write_peak(out, "peer_peak", n.peer_peak);
+      out << ",";
+      write_peak(out, "fiber_peak", n.fiber_peak);
+      out << ",\"sessions\":" << n.sessions << ",\"hits\":" << n.hits
+          << ",\"cold_misses\":" << n.cold_misses
+          << ",\"busy_misses\":" << n.busy_misses
+          << ",\"cache_used_bytes\":" << n.cache_used.byte_count()
+          << ",\"cache_capacity_bytes\":" << n.cache_capacity.byte_count()
+          << '}';
+    }
+    out << ']';
+  }
+  out << '}';
+}
+
+std::string to_json(const SimulationReport& report,
+                    bool include_neighborhoods) {
+  std::ostringstream out;
+  write_json(report, out, include_neighborhoods);
+  return out.str();
+}
+
+}  // namespace vodcache::core

@@ -1,0 +1,21 @@
+// JSON serialization of SimulationReport, for plotting pipelines and the
+// CLI.  Hand-rolled writer (the report is a fixed shape; no dependency is
+// worth it) producing deterministic, diff-friendly output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/report.hpp"
+
+namespace vodcache::core {
+
+// Serializes the full report. `include_neighborhoods` controls whether the
+// per-neighborhood array (potentially hundreds of entries) is emitted.
+void write_json(const SimulationReport& report, std::ostream& out,
+                bool include_neighborhoods = true);
+
+[[nodiscard]] std::string to_json(const SimulationReport& report,
+                                  bool include_neighborhoods = true);
+
+}  // namespace vodcache::core

@@ -1,0 +1,257 @@
+#include "core/vod_system.hpp"
+
+#include <algorithm>
+
+#include "cache/global_lfu.hpp"
+#include "cache/lfu.hpp"
+#include "cache/lru.hpp"
+#include "cache/oracle.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace vodcache::core {
+
+VodSystem::VodSystem(const trace::Trace& trace, SystemConfig config)
+    : trace_(trace),
+      config_(config),
+      topology_(hfc::Topology::build(trace.user_count(),
+                                     config.neighborhood_size)),
+      media_server_(trace.horizon(), config.meter_bucket) {
+  config_.validate();
+  VODCACHE_EXPECTS(trace_.is_sorted());
+
+  const auto kind = config_.strategy.kind;
+
+  if (kind == StrategyKind::Oracle) {
+    // Each neighborhood's oracle sees that neighborhood's future requests.
+    future_.assign(topology_.neighborhood_count(),
+                   cache::FutureIndex(trace_.catalog().size()));
+    for (const auto& record : trace_.sessions()) {
+      future_[topology_.neighborhood_of(record.user).value()].add(
+          record.program, record.start);
+    }
+    for (auto& index : future_) index.freeze();
+  }
+
+  if (kind == StrategyKind::GlobalLfu) {
+    board_ = std::make_shared<cache::PopularityBoard>(
+        trace_.catalog().size(), config_.strategy.lfu_history,
+        config_.strategy.global_lag);
+  }
+
+  index_servers_.reserve(topology_.neighborhood_count());
+  for (std::uint32_t n = 0; n < topology_.neighborhood_count(); ++n) {
+    const NeighborhoodId id{n};
+    index_servers_.push_back(std::make_unique<IndexServer>(
+        id, topology_.size_of(id), config_, make_strategy(id), media_server_,
+        trace_.horizon()));
+  }
+
+  pending_failures_ = config_.peer_failures;
+  std::stable_sort(pending_failures_.begin(), pending_failures_.end(),
+                   [](const auto& a, const auto& b) { return a.time < b.time; });
+}
+
+void VodSystem::apply_failures(sim::SimTime now) {
+  while (next_failure_ < pending_failures_.size() &&
+         pending_failures_[next_failure_].time <= now) {
+    const auto& failure = pending_failures_[next_failure_];
+    Rng rng(failure.seed);
+    for (std::uint32_t n = 0; n < topology_.neighborhood_count(); ++n) {
+      const auto peers = topology_.size_of(NeighborhoodId{n});
+      for (std::uint32_t p = 0; p < peers; ++p) {
+        if (rng.bernoulli(failure.fraction)) {
+          index_servers_[n]->fail_peer(PeerId{p});
+        }
+      }
+    }
+    ++next_failure_;
+  }
+}
+
+std::unique_ptr<cache::ReplacementStrategy> VodSystem::make_strategy(
+    NeighborhoodId neighborhood) {
+  switch (config_.strategy.kind) {
+    case StrategyKind::None:
+      return nullptr;
+    case StrategyKind::Lru:
+      return std::make_unique<cache::LruStrategy>();
+    case StrategyKind::Lfu:
+      return std::make_unique<cache::LfuStrategy>(config_.strategy.lfu_history);
+    case StrategyKind::Oracle:
+      return std::make_unique<cache::OracleStrategy>(
+          future_[neighborhood.value()], config_.strategy.oracle_lookahead,
+          config_.strategy.oracle_refresh);
+    case StrategyKind::GlobalLfu:
+      return std::make_unique<cache::GlobalLfuStrategy>(board_);
+  }
+  VODCACHE_ASSERT(false);
+  return nullptr;
+}
+
+void VodSystem::start_session(const trace::SessionRecord& record) {
+  const NeighborhoodId neighborhood = topology_.neighborhood_of(record.user);
+  const PeerId viewer = topology_.peer_of(record.user);
+  IndexServer& server = *index_servers_[neighborhood.value()];
+
+  ActiveSession session;
+  session.neighborhood = neighborhood;
+  session.viewer = viewer;
+  session.program = record.program;
+  session.start = record.start;
+  session.end = record.start + record.duration;
+  session.admit = server.start_session(
+      record.program,
+      trace_.catalog().program_size(record.program, config_.stream_rate),
+      record.start);
+
+  server.occupy_viewer_slot(viewer, {session.start, session.end});
+
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = session;
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(session);
+  }
+  play_segment(slot, record.start);
+}
+
+void VodSystem::play_segment(std::uint32_t slot, sim::SimTime at) {
+  const ActiveSession& session = slots_[slot];
+  VODCACHE_ASSERT(at < session.end);
+
+  const auto segment_ms = config_.segment_duration.millis_count();
+  const std::int64_t watched_ms = (at - session.start).millis_count();
+  const auto segment_index = static_cast<std::uint32_t>(watched_ms / segment_ms);
+
+  // The transmission runs until the next segment boundary or session end.
+  const sim::SimTime boundary =
+      session.start +
+      sim::SimTime::millis((static_cast<std::int64_t>(segment_index) + 1) *
+                           segment_ms);
+  const sim::SimTime tx_end = std::min(boundary, session.end);
+
+  // Nominal slice of this segment: 300 s, except a shorter final segment.
+  const sim::SimTime program_length = trace_.catalog().length(session.program);
+  const sim::SimTime nominal_end =
+      std::min(boundary, session.start + program_length);
+  const bool full_slice = tx_end >= nominal_end;
+
+  IndexServer& server = *index_servers_[session.neighborhood.value()];
+  server.serve_segment(session.viewer,
+                       cache::SegmentKey{session.program, segment_index},
+                       {at, tx_end}, session.admit, full_slice);
+
+  if (tx_end < session.end) {
+    boundaries_.push(tx_end, slot);
+  } else {
+    free_slots_.push_back(slot);
+  }
+}
+
+SimulationReport VodSystem::run() {
+  VODCACHE_EXPECTS(!ran_);
+  ran_ = true;
+
+  const auto& sessions = trace_.sessions();
+  std::size_t next = 0;
+  // Merge the sorted trace with the segment-boundary queue.  Session starts
+  // win ties so that a session beginning exactly at another's boundary sees
+  // the cache state after that boundary... boundaries first, actually:
+  // boundary events at time t complete transmissions in [.., t); processing
+  // them first releases nothing (slots expire lazily) but keeps fills from
+  // "future" transmissions out of the picture.  Either order is
+  // deterministic; boundaries-first matches wall-clock causality.
+  while (next < sessions.size() || !boundaries_.empty()) {
+    const bool take_boundary =
+        !boundaries_.empty() &&
+        (next >= sessions.size() ||
+         boundaries_.top().time < sessions[next].start ||
+         (boundaries_.top().time == sessions[next].start));
+    if (take_boundary) {
+      const auto event = boundaries_.pop();
+      apply_failures(event.time);
+      play_segment(event.payload, event.time);
+    } else {
+      apply_failures(sessions[next].start);
+      start_session(sessions[next]);
+      ++next;
+    }
+  }
+  return build_report();
+}
+
+SimulationReport VodSystem::build_report() const {
+  SimulationReport report;
+  report.strategy = config_.strategy.kind;
+  report.user_count = trace_.user_count();
+  report.neighborhood_count = topology_.neighborhood_count();
+
+  // Warmup exclusion, clamped so short demo runs still have samples.
+  const auto half_horizon =
+      sim::SimTime::millis(trace_.horizon().millis_count() / 2);
+  const sim::SimTime from = std::min(config_.warmup, half_horizon);
+  report.measured_from = from;
+
+  report.server_peak =
+      sim::peak_stats(media_server_.meter(), config_.peak_window, from);
+  report.server_hourly = media_server_.meter().hourly_profile(from);
+  // Meter totals (horizon-clipped) rather than raw counters, so the
+  // conservation identity coax == server + peer holds exactly even when a
+  // session straddles the end of the trace.
+  report.server_bits = media_server_.meter().total_bits();
+
+  std::vector<double> pooled_coax;
+  report.neighborhoods.reserve(index_servers_.size());
+  for (const auto& server : index_servers_) {
+    NeighborhoodReport n;
+    n.peer_count = server->peer_count();
+    n.coax_peak =
+        sim::peak_stats(server->coax_meter(), config_.peak_window, from);
+    n.peer_peak =
+        sim::peak_stats(server->peer_meter(), config_.peak_window, from);
+    // Per-headend fiber feed = coax minus peer-served, bucket by bucket.
+    {
+      auto fiber = server->coax_meter().window_samples_bps(
+          config_.peak_window, from);
+      const auto peer_samples =
+          server->peer_meter().window_samples_bps(config_.peak_window, from);
+      VODCACHE_ASSERT(fiber.size() == peer_samples.size());
+      for (std::size_t i = 0; i < fiber.size(); ++i) {
+        fiber[i] -= peer_samples[i];
+      }
+      n.fiber_peak = sim::peak_stats(fiber);
+    }
+    const auto& c = server->counters();
+    n.sessions = c.sessions;
+    n.hits = c.hits;
+    n.cold_misses = c.cold_misses;
+    n.busy_misses = c.busy_misses;
+    n.cache_used = server->store().used();
+    n.cache_capacity = server->store().capacity();
+    report.neighborhoods.push_back(n);
+
+    report.sessions += c.sessions;
+    report.segments += c.segments;
+    report.hits += c.hits;
+    report.cold_misses += c.cold_misses;
+    report.busy_misses += c.busy_misses;
+    report.evictions += c.evictions;
+    report.fills += c.fills;
+    report.peer_failures += c.peer_failures;
+    report.wiped_bytes += c.wiped_bytes;
+    report.peer_bits += server->peer_meter().total_bits();
+    report.coax_bits += server->coax_meter().total_bits();
+
+    const auto samples =
+        server->coax_meter().window_samples_bps(config_.peak_window, from);
+    pooled_coax.insert(pooled_coax.end(), samples.begin(), samples.end());
+  }
+  report.coax_peak_pooled = sim::peak_stats(pooled_coax);
+  return report;
+}
+
+}  // namespace vodcache::core

@@ -1,0 +1,90 @@
+// VodSystem: the full trace-driven discrete-event simulation
+// (paper section V-B).
+//
+// "A discrete event simulation is dictated by each download event from the
+// trace data.  When an event occurs, the user who initiated the event
+// locates the specified program in the simulated topology.  This program
+// will either be cached within the neighborhood by one of the peers, or it
+// will be housed on a central server.  In either case, the download
+// consumes neighborhood bandwidth, and in the latter case, it also consumes
+// server bandwidth."
+//
+// Each session of length L plays ceil(L / 300 s) consecutive segments; each
+// segment transmission runs at the 8.06 Mb/s playback rate for
+// min(300 s, remaining).  Session starts come straight from the (sorted)
+// trace; segment boundaries run through a deterministic event queue.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cache/future_index.hpp"
+#include "cache/popularity_board.hpp"
+#include "core/config.hpp"
+#include "core/index_server.hpp"
+#include "core/media_server.hpp"
+#include "core/report.hpp"
+#include "hfc/topology.hpp"
+#include "sim/event_queue.hpp"
+#include "trace/trace.hpp"
+
+namespace vodcache::core {
+
+class VodSystem {
+ public:
+  // The trace must outlive the system.
+  VodSystem(const trace::Trace& trace, SystemConfig config);
+
+  VodSystem(const VodSystem&) = delete;
+  VodSystem& operator=(const VodSystem&) = delete;
+
+  // Replays the whole trace and produces the report.  Single-shot.
+  [[nodiscard]] SimulationReport run();
+
+  [[nodiscard]] const hfc::Topology& topology() const { return topology_; }
+  [[nodiscard]] const SystemConfig& config() const { return config_; }
+
+ private:
+  struct ActiveSession {
+    NeighborhoodId neighborhood;
+    PeerId viewer;
+    ProgramId program;
+    sim::SimTime start;
+    sim::SimTime end;
+    bool admit = false;
+  };
+
+  void start_session(const trace::SessionRecord& record);
+  // Plays the segment beginning at `at`; schedules the next boundary.
+  void play_segment(std::uint32_t slot, sim::SimTime at);
+  // Applies configured peer failures whose time has come (clock <= now).
+  void apply_failures(sim::SimTime now);
+
+  [[nodiscard]] std::unique_ptr<cache::ReplacementStrategy> make_strategy(
+      NeighborhoodId neighborhood);
+  [[nodiscard]] SimulationReport build_report() const;
+
+  const trace::Trace& trace_;
+  SystemConfig config_;
+  hfc::Topology topology_;
+  MediaServer media_server_;
+  std::vector<std::unique_ptr<IndexServer>> index_servers_;
+
+  // Oracle support: per-neighborhood future access index.
+  std::vector<cache::FutureIndex> future_;
+  // GlobalLFU support: one shared popularity board.
+  std::shared_ptr<cache::PopularityBoard> board_;
+
+  // Session slot pool.
+  std::vector<ActiveSession> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  sim::EventQueue<std::uint32_t> boundaries_;
+
+  // Failure injections, sorted by time; next_failure_ advances as applied.
+  std::vector<SystemConfig::PeerFailure> pending_failures_;
+  std::size_t next_failure_ = 0;
+
+  bool ran_ = false;
+};
+
+}  // namespace vodcache::core

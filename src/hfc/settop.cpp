@@ -1,0 +1,40 @@
+#include "hfc/settop.hpp"
+
+#include <algorithm>
+
+namespace vodcache::hfc {
+
+StreamSlots::StreamSlots(int limit) : limit_(limit) {
+  VODCACHE_EXPECTS(limit >= 0);
+  active_ends_.reserve(static_cast<std::size_t>(limit) + 2);
+}
+
+void StreamSlots::prune(sim::SimTime now) {
+  // Transmissions occupy [begin, end); one ending exactly at `now` is free.
+  std::erase_if(active_ends_, [now](sim::SimTime end) { return end <= now; });
+}
+
+int StreamSlots::active(sim::SimTime now) {
+  prune(now);
+  return static_cast<int>(active_ends_.size());
+}
+
+bool StreamSlots::try_acquire(sim::Interval interval) {
+  VODCACHE_EXPECTS(interval.valid());
+  if (active(interval.begin) >= limit_) return false;
+  active_ends_.push_back(interval.end);
+  return true;
+}
+
+void StreamSlots::acquire_unchecked(sim::Interval interval) {
+  VODCACHE_EXPECTS(interval.valid());
+  prune(interval.begin);
+  active_ends_.push_back(interval.end);
+}
+
+SetTopBox::SetTopBox(PeerId id, DataSize storage_contribution, int stream_limit)
+    : id_(id), contribution_(storage_contribution), slots_(stream_limit) {
+  VODCACHE_EXPECTS(storage_contribution >= DataSize{});
+}
+
+}  // namespace vodcache::hfc

@@ -1,0 +1,52 @@
+#include "hfc/topology.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace vodcache::hfc {
+
+Topology Topology::build(std::uint32_t user_count,
+                         std::uint32_t neighborhood_size) {
+  VODCACHE_EXPECTS(user_count > 0);
+  VODCACHE_EXPECTS(neighborhood_size > 0);
+
+  Topology t;
+  t.user_count_ = user_count;
+  t.neighborhood_size_ = neighborhood_size;
+  t.neighborhood_count_ =
+      (user_count + neighborhood_size - 1) / neighborhood_size;
+
+  // Fixed seed mixed with the sizing parameters: "peer placement is the
+  // same for each execution of the simulation with the same neighborhood
+  // size parameter" (section V-B).
+  const std::uint64_t seed = 0xC0A0CAFEULL ^
+                             (static_cast<std::uint64_t>(user_count) << 20) ^
+                             neighborhood_size;
+  Rng rng(seed);
+  t.position_.resize(user_count);
+  std::iota(t.position_.begin(), t.position_.end(), 0U);
+  std::shuffle(t.position_.begin(), t.position_.end(), rng);
+  return t;
+}
+
+NeighborhoodId Topology::neighborhood_of(UserId user) const {
+  VODCACHE_EXPECTS(user.value() < user_count_);
+  return NeighborhoodId{position_[user.value()] / neighborhood_size_};
+}
+
+PeerId Topology::peer_of(UserId user) const {
+  VODCACHE_EXPECTS(user.value() < user_count_);
+  return PeerId{position_[user.value()] % neighborhood_size_};
+}
+
+std::uint32_t Topology::size_of(NeighborhoodId n) const {
+  VODCACHE_EXPECTS(n.value() < neighborhood_count_);
+  if (n.value() + 1 < neighborhood_count_) return neighborhood_size_;
+  const std::uint32_t remainder = user_count_ % neighborhood_size_;
+  return remainder == 0 ? neighborhood_size_ : remainder;
+}
+
+}  // namespace vodcache::hfc

@@ -1,0 +1,64 @@
+// HFC deployment topology (paper section II, figure 1).
+//
+// cable operator --(switched fiber)--> headends --(broadcast coax)-->
+// neighborhoods of subscribers.  Subscribers are placed into neighborhoods
+// uniformly at random, but — exactly as in section V-B — placement depends
+// only on (user_count, neighborhood_size), never on the run's RNG, so two
+// runs with the same sizing differ only by algorithm behaviour.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/units.hpp"
+
+namespace vodcache::hfc {
+
+// Coax plant parameters from section II of the paper.
+struct CoaxSpec {
+  // Total downstream capacity depends on cable quality.
+  DataRate downstream_low = DataRate::gigabits_per_second(4.9);
+  DataRate downstream_high = DataRate::gigabits_per_second(6.6);
+  // Of which broadcast television permanently occupies ~3.3 Gb/s.
+  DataRate tv_broadcast = DataRate::gigabits_per_second(3.3);
+  // Standardized upstream allocation shared by the whole neighborhood.
+  DataRate upstream = DataRate::megabits_per_second(215.0);
+
+  [[nodiscard]] DataRate available_low() const {
+    return downstream_low - tv_broadcast;
+  }
+  [[nodiscard]] DataRate available_high() const {
+    return downstream_high - tv_broadcast;
+  }
+};
+
+class Topology {
+ public:
+  // Partitions `user_count` subscribers into neighborhoods of
+  // `neighborhood_size` (the last neighborhood may be smaller).
+  static Topology build(std::uint32_t user_count,
+                        std::uint32_t neighborhood_size);
+
+  [[nodiscard]] std::uint32_t user_count() const { return user_count_; }
+  [[nodiscard]] std::uint32_t neighborhood_size() const {
+    return neighborhood_size_;
+  }
+  [[nodiscard]] std::uint32_t neighborhood_count() const {
+    return neighborhood_count_;
+  }
+
+  [[nodiscard]] NeighborhoodId neighborhood_of(UserId user) const;
+  // Index of the user's set-top box within its neighborhood.
+  [[nodiscard]] PeerId peer_of(UserId user) const;
+  [[nodiscard]] std::uint32_t size_of(NeighborhoodId n) const;
+
+ private:
+  std::uint32_t user_count_ = 0;
+  std::uint32_t neighborhood_size_ = 0;
+  std::uint32_t neighborhood_count_ = 0;
+  // position_[u] is user u's slot in the global shuffled order.
+  std::vector<std::uint32_t> position_;
+};
+
+}  // namespace vodcache::hfc

@@ -1,0 +1,42 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+namespace vodcache::sim {
+
+void Engine::schedule_at(SimTime at, Handler handler) {
+  VODCACHE_EXPECTS(at >= now_);
+  queue_.push(at, std::move(handler));
+}
+
+void Engine::schedule_after(SimTime delay, Handler handler) {
+  VODCACHE_EXPECTS(delay >= SimTime{});
+  queue_.push(now_ + delay, std::move(handler));
+}
+
+std::uint64_t Engine::run() {
+  std::uint64_t count = 0;
+  while (!queue_.empty()) {
+    auto event = queue_.pop();
+    now_ = event.time;
+    event.payload(now_);
+    ++count;
+  }
+  processed_ += count;
+  return count;
+}
+
+std::uint64_t Engine::run_until(SimTime until) {
+  std::uint64_t count = 0;
+  while (!queue_.empty() && queue_.top().time <= until) {
+    auto event = queue_.pop();
+    now_ = event.time;
+    event.payload(now_);
+    ++count;
+  }
+  if (now_ < until) now_ = until;
+  processed_ += count;
+  return count;
+}
+
+}  // namespace vodcache::sim

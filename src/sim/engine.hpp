@@ -1,0 +1,44 @@
+// Generic discrete-event engine: a clock plus an event queue of callbacks.
+//
+// The VoD system schedules closures (session starts, segment boundaries);
+// the engine guarantees they run in non-decreasing time order, FIFO within
+// a timestamp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace vodcache::sim {
+
+class Engine {
+ public:
+  using Handler = std::function<void(SimTime)>;
+
+  // Schedule `handler` at absolute time `at`.  Scheduling in the past (before
+  // the current clock) is a programming error.
+  void schedule_at(SimTime at, Handler handler);
+
+  // Schedule `handler` after `delay` from the current clock.
+  void schedule_after(SimTime delay, Handler handler);
+
+  // Run until the queue drains.  Returns the number of events processed.
+  std::uint64_t run();
+
+  // Run events with time <= `until` (inclusive); later events stay queued.
+  std::uint64_t run_until(SimTime until);
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t processed() const { return processed_; }
+
+ private:
+  EventQueue<Handler> queue_;
+  SimTime now_;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace vodcache::sim

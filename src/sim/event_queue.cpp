@@ -1,0 +1,10 @@
+// EventQueue is a header-only template; this translation unit exists to give
+// the build a home for explicit instantiation used in tests, keeping error
+// messages local to the module.
+#include "sim/event_queue.hpp"
+
+namespace vodcache::sim {
+
+template class EventQueue<int>;
+
+}  // namespace vodcache::sim

@@ -1,0 +1,83 @@
+// Pending-event set for the discrete-event engine.
+//
+// A binary min-heap ordered by (time, sequence).  The sequence number makes
+// ordering of simultaneous events stable (FIFO within a timestamp), which
+// keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/assert.hpp"
+
+namespace vodcache::sim {
+
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Event {
+    SimTime time;
+    std::uint64_t sequence = 0;
+    Payload payload;
+  };
+
+  void push(SimTime time, Payload payload) {
+    heap_.push_back(Event{time, next_sequence_++, std::move(payload)});
+    sift_up(heap_.size() - 1);
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  [[nodiscard]] const Event& top() const {
+    VODCACHE_EXPECTS(!heap_.empty());
+    return heap_.front();
+  }
+
+  Event pop() {
+    VODCACHE_EXPECTS(!heap_.empty());
+    Event out = std::move(heap_.front());
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    return out;
+  }
+
+  void clear() { heap_.clear(); }
+
+ private:
+  [[nodiscard]] static bool before(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.sequence < b.sequence;
+  }
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!before(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t left = 2 * i + 1;
+      const std::size_t right = left + 1;
+      std::size_t smallest = i;
+      if (left < n && before(heap_[left], heap_[smallest])) smallest = left;
+      if (right < n && before(heap_[right], heap_[smallest])) smallest = right;
+      if (smallest == i) return;
+      std::swap(heap_[i], heap_[smallest]);
+      i = smallest;
+    }
+  }
+
+  std::vector<Event> heap_;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace vodcache::sim

@@ -1,0 +1,28 @@
+#include "sim/peak_stats.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace vodcache::sim {
+
+PeakStats peak_stats(std::span<const double> samples_bps) {
+  PeakStats out;
+  if (samples_bps.empty()) return out;
+  std::vector<double> sorted(samples_bps.begin(), samples_bps.end());
+  std::sort(sorted.begin(), sorted.end());
+  out.sample_count = sorted.size();
+  out.mean = DataRate::bits_per_second(mean(sorted));
+  out.q05 = DataRate::bits_per_second(quantile_sorted(sorted, 0.05));
+  out.q95 = DataRate::bits_per_second(quantile_sorted(sorted, 0.95));
+  out.max = DataRate::bits_per_second(sorted.back());
+  return out;
+}
+
+PeakStats peak_stats(const RateMeter& meter, HourWindow window, SimTime from) {
+  const auto samples = meter.window_samples_bps(window, from);
+  return peak_stats(samples);
+}
+
+}  // namespace vodcache::sim

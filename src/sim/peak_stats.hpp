@@ -1,0 +1,31 @@
+// Peak-window load statistics: the paper reports "average server rate"
+// during the evening peak with 5%/95% quantile error bars.  A PeakStats is
+// computed from the per-bucket rate samples falling inside the window.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "sim/rate_meter.hpp"
+#include "sim/time.hpp"
+#include "util/units.hpp"
+
+namespace vodcache::sim {
+
+struct PeakStats {
+  std::size_t sample_count = 0;
+  DataRate mean;
+  DataRate q05;
+  DataRate q95;
+  DataRate max;
+};
+
+// Statistics over raw bps samples.
+[[nodiscard]] PeakStats peak_stats(std::span<const double> samples_bps);
+
+// Statistics over the meter's buckets inside `window`, starting at `from`
+// (cache-warmup exclusion).
+[[nodiscard]] PeakStats peak_stats(const RateMeter& meter, HourWindow window,
+                                   SimTime from = SimTime{});
+
+}  // namespace vodcache::sim

@@ -1,0 +1,46 @@
+#include "trace/catalog.hpp"
+
+#include "util/assert.hpp"
+
+namespace vodcache::trace {
+
+Catalog::Catalog(std::vector<ProgramInfo> programs)
+    : programs_(std::move(programs)) {
+  for (const auto& p : programs_) {
+    VODCACHE_EXPECTS(p.length > sim::SimTime{});
+    VODCACHE_EXPECTS(p.base_weight >= 0.0);
+  }
+}
+
+const ProgramInfo& Catalog::info(ProgramId id) const {
+  VODCACHE_EXPECTS(id.value() < programs_.size());
+  return programs_[id.value()];
+}
+
+sim::SimTime Catalog::length(ProgramId id) const { return info(id).length; }
+
+sim::SimTime Catalog::introduced(ProgramId id) const {
+  return info(id).introduced;
+}
+
+DataSize Catalog::program_size(ProgramId id, DataRate stream_rate) const {
+  return stream_rate.over_seconds(length(id).seconds_f());
+}
+
+std::uint32_t Catalog::segment_count(ProgramId id,
+                                     sim::SimTime segment_duration) const {
+  VODCACHE_EXPECTS(segment_duration.millis_count() > 0);
+  const std::int64_t len = length(id).millis_count();
+  const std::int64_t seg = segment_duration.millis_count();
+  return static_cast<std::uint32_t>((len + seg - 1) / seg);
+}
+
+DataSize Catalog::total_size(DataRate stream_rate) const {
+  DataSize total;
+  for (std::size_t i = 0; i < programs_.size(); ++i) {
+    total += program_size(ProgramId{static_cast<std::uint32_t>(i)}, stream_rate);
+  }
+  return total;
+}
+
+}  // namespace vodcache::trace

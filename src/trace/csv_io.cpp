@@ -1,0 +1,152 @@
+#include "trace/csv_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+namespace vodcache::trace {
+
+namespace {
+
+[[noreturn]] void parse_error(std::size_t line_number, std::string_view what) {
+  std::ostringstream message;
+  message << "vodcache trace parse error at line " << line_number << ": "
+          << what;
+  throw std::runtime_error(message.str());
+}
+
+// Splits a comma-separated line into fields (no quoting; the format never
+// needs it).
+std::vector<std::string_view> split_fields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t begin = 0;
+  while (begin <= line.size()) {
+    const std::size_t comma = line.find(',', begin);
+    if (comma == std::string_view::npos) {
+      fields.push_back(line.substr(begin));
+      break;
+    }
+    fields.push_back(line.substr(begin, comma - begin));
+    begin = comma + 1;
+  }
+  return fields;
+}
+
+template <typename T>
+T parse_number(std::string_view text, std::size_t line_number) {
+  T value{};
+  const auto* first = text.data();
+  const auto* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) {
+    parse_error(line_number, "malformed number");
+  }
+  return value;
+}
+
+}  // namespace
+
+void write_csv(const Trace& trace, std::ostream& out) {
+  out << "# vodcache-trace v1\n";
+  out << "meta," << trace.user_count() << ','
+      << trace.horizon().millis_count() << '\n';
+  const auto& programs = trace.catalog().programs();
+  for (std::size_t i = 0; i < programs.size(); ++i) {
+    out << "program," << i << ',' << programs[i].length.millis_count() << ','
+        << programs[i].introduced.millis_count() << ','
+        << programs[i].base_weight << ',' << programs[i].fresh_weight << '\n';
+  }
+  for (const auto& s : trace.sessions()) {
+    out << "session," << s.start.millis_count() << ',' << s.user.value() << ','
+        << s.program.value() << ',' << s.duration.millis_count() << '\n';
+  }
+}
+
+void write_csv_file(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  write_csv(trace, out);
+}
+
+Trace read_csv(std::istream& in) {
+  std::string line;
+  std::size_t line_number = 0;
+  bool seen_meta = false;
+  std::uint32_t user_count = 0;
+  sim::SimTime horizon;
+  std::vector<ProgramInfo> programs;
+  std::vector<SessionRecord> sessions;
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = split_fields(line);
+    const std::string_view kind = fields[0];
+    if (kind == "meta") {
+      if (fields.size() != 3) parse_error(line_number, "meta needs 2 fields");
+      user_count = parse_number<std::uint32_t>(fields[1], line_number);
+      horizon = sim::SimTime::millis(
+          parse_number<std::int64_t>(fields[2], line_number));
+      seen_meta = true;
+    } else if (kind == "program") {
+      // fresh_weight (field 6) is optional for backward compatibility with
+      // traces converted from external sources.
+      if (fields.size() != 5 && fields.size() != 6) {
+        parse_error(line_number, "program needs 4 or 5 fields");
+      }
+      const auto id = parse_number<std::uint32_t>(fields[1], line_number);
+      if (id != programs.size()) {
+        parse_error(line_number, "program ids must be contiguous from 0");
+      }
+      ProgramInfo info;
+      info.length = sim::SimTime::millis(
+          parse_number<std::int64_t>(fields[2], line_number));
+      info.introduced = sim::SimTime::millis(
+          parse_number<std::int64_t>(fields[3], line_number));
+      info.base_weight = parse_number<double>(fields[4], line_number);
+      if (fields.size() == 6) {
+        info.fresh_weight = parse_number<double>(fields[5], line_number);
+      }
+      programs.push_back(info);
+    } else if (kind == "session") {
+      if (fields.size() != 5) {
+        parse_error(line_number, "session needs 4 fields");
+      }
+      SessionRecord s;
+      s.start = sim::SimTime::millis(
+          parse_number<std::int64_t>(fields[1], line_number));
+      s.user = UserId{parse_number<std::uint32_t>(fields[2], line_number)};
+      s.program = ProgramId{parse_number<std::uint32_t>(fields[3], line_number)};
+      s.duration = sim::SimTime::millis(
+          parse_number<std::int64_t>(fields[4], line_number));
+      if (s.program.value() >= programs.size()) {
+        parse_error(line_number, "session references unknown program");
+      }
+      sessions.push_back(s);
+    } else {
+      parse_error(line_number, "unknown record kind");
+    }
+  }
+  if (!seen_meta) throw std::runtime_error("vodcache trace: missing meta line");
+
+  Trace trace(Catalog(std::move(programs)), std::move(sessions), user_count,
+              horizon);
+  // Input files are untrusted: semantic violations are exceptions, not
+  // contract aborts.
+  if (const auto error = trace.validation_error()) {
+    throw std::runtime_error("vodcache trace: " + *error);
+  }
+  return trace;
+}
+
+Trace read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  return read_csv(in);
+}
+
+}  // namespace vodcache::trace

@@ -1,0 +1,30 @@
+// Trace (de)serialization.
+//
+// A single-file line format that a real trace (e.g. PowerInfo, if you have
+// access to it) can be converted into, making the whole evaluation pipeline
+// runnable on real data:
+//
+//   # vodcache-trace v1
+//   meta,<user_count>,<horizon_ms>
+//   program,<id>,<length_ms>,<introduced_ms>,<base_weight>
+//   session,<start_ms>,<user>,<program>,<duration_ms>
+//
+// Lines starting with '#' are comments.  Programs must appear with
+// contiguous ids 0..n-1 before any session referencing them.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace vodcache::trace {
+
+void write_csv(const Trace& trace, std::ostream& out);
+void write_csv_file(const Trace& trace, const std::string& path);
+
+// Throws std::runtime_error on malformed input.
+[[nodiscard]] Trace read_csv(std::istream& in);
+[[nodiscard]] Trace read_csv_file(const std::string& path);
+
+}  // namespace vodcache::trace

@@ -1,0 +1,186 @@
+#include "trace/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace vodcache::trace {
+
+void GeneratorConfig::validate() const {
+  VODCACHE_EXPECTS(days > 0);
+  VODCACHE_EXPECTS(user_count > 0);
+  VODCACHE_EXPECTS(program_count > 0);
+  VODCACHE_EXPECTS(sessions_per_user_per_day > 0.0);
+  VODCACHE_EXPECTS(zipf_exponent >= 0.0);
+  VODCACHE_EXPECTS(zipf_offset >= 0.0);
+  VODCACHE_EXPECTS(freshness_boost >= 0.0);
+  VODCACHE_EXPECTS(freshness_damping >= 0.0 && freshness_damping <= 1.0);
+  VODCACHE_EXPECTS(freshness_floor > 0.0);
+  VODCACHE_EXPECTS(freshness_tau_days > 0.0);
+  VODCACHE_EXPECTS(back_catalog_fraction >= 0.0 && back_catalog_fraction <= 1.0);
+  VODCACHE_EXPECTS(popularity_rebuild_hours > 0.0);
+  VODCACHE_EXPECTS(session_median_minutes > 0.0);
+  VODCACHE_EXPECTS(session_sigma > 0.0);
+  VODCACHE_EXPECTS(min_session_seconds > 0.0);
+  double hour_sum = 0.0;
+  for (const double w : hourly_weights) {
+    VODCACHE_EXPECTS(w >= 0.0);
+    hour_sum += w;
+  }
+  VODCACHE_EXPECTS(hour_sum > 0.0);
+  double p_sum = 0.0;
+  for (const auto& bucket : length_mix) {
+    VODCACHE_EXPECTS(bucket.minutes > 0.0);
+    VODCACHE_EXPECTS(bucket.probability >= 0.0);
+    p_sum += bucket.probability;
+  }
+  VODCACHE_EXPECTS(std::abs(p_sum - 1.0) < 1e-9);
+}
+
+double popularity_weight_at(const ProgramInfo& program, sim::SimTime t,
+                            const GeneratorConfig& config) {
+  if (t < program.introduced) return 0.0;
+  const double age_days = (t - program.introduced).days_f();
+  return program.base_weight * config.freshness_floor +
+         config.freshness_boost * program.fresh_weight *
+             std::exp(-age_days / config.freshness_tau_days);
+}
+
+namespace {
+
+Catalog build_catalog(const GeneratorConfig& config, Rng& rng) {
+  std::vector<ProgramInfo> programs(config.program_count);
+
+  // Length mix as a small alias table.
+  std::vector<double> length_probs;
+  length_probs.reserve(config.length_mix.size());
+  for (const auto& bucket : config.length_mix) {
+    length_probs.push_back(bucket.probability);
+  }
+  const AliasTable length_sampler(length_probs);
+
+  // Zipf-Mandelbrot base weights assigned to a random permutation of
+  // program ids, so that popularity rank is independent of id order.
+  const auto weights = zipf_weights(config.program_count, config.zipf_exponent,
+                                    config.zipf_offset);
+  std::vector<std::uint32_t> rank_of(config.program_count);
+  std::iota(rank_of.begin(), rank_of.end(), 0U);
+  std::shuffle(rank_of.begin(), rank_of.end(), rng);
+
+  const double mean_base =
+      std::accumulate(weights.begin(), weights.end(), 0.0) /
+      static_cast<double>(weights.size());
+
+  const auto horizon_days = static_cast<double>(config.days);
+  for (std::uint32_t i = 0; i < config.program_count; ++i) {
+    auto& p = programs[i];
+    const auto& bucket = config.length_mix[length_sampler.sample(rng)];
+    p.length = sim::SimTime::from_seconds_f(bucket.minutes * 60.0);
+    p.base_weight = weights[rank_of[i]];
+    // Rank-damped release spike (see GeneratorConfig docs): scale-invariant
+    // in the weight normalization, bounded at the head.
+    p.fresh_weight = std::pow(p.base_weight, config.freshness_damping) *
+                     std::pow(mean_base, 1.0 - config.freshness_damping);
+    if (rng.uniform_double() < config.back_catalog_fraction) {
+      p.introduced = sim::SimTime::from_seconds_f(
+          -rng.uniform_double(0.0, config.back_catalog_window_days) * 86400.0);
+    } else {
+      p.introduced = sim::SimTime::from_seconds_f(
+          rng.uniform_double(0.0, horizon_days) * 86400.0);
+    }
+  }
+  return Catalog(std::move(programs));
+}
+
+// Samples how long a viewer watches a program of length `len`.
+sim::SimTime sample_session_length(sim::SimTime len,
+                                   const GeneratorConfig& config, Rng& rng) {
+  const double mu = std::log(config.session_median_minutes * 60.0);
+  double seconds = rng.lognormal(mu, config.session_sigma);
+  seconds = std::max(seconds, config.min_session_seconds);
+  seconds = std::min(seconds, len.seconds_f());
+  return sim::SimTime::from_seconds_f(seconds);
+}
+
+}  // namespace
+
+Trace generate_power_info_like(const GeneratorConfig& config) {
+  config.validate();
+  Rng rng(config.seed);
+
+  Catalog catalog = build_catalog(config, rng);
+  const auto& programs = catalog.programs();
+
+  const double hour_weight_sum =
+      std::accumulate(config.hourly_weights.begin(),
+                      config.hourly_weights.end(), 0.0);
+  const double sessions_per_day =
+      static_cast<double>(config.user_count) * config.sessions_per_user_per_day;
+
+  // Popularity alias table, rebuilt every `popularity_rebuild_hours` so the
+  // freshness decay and new releases take effect.
+  const auto rebuild_interval =
+      sim::SimTime::from_seconds_f(config.popularity_rebuild_hours * 3600.0);
+  sim::SimTime next_rebuild;  // 0 -> rebuild before the first batch
+  AliasTable program_sampler;
+  std::vector<std::uint32_t> available;  // alias index -> program id
+  std::vector<double> weights;
+  weights.reserve(programs.size());
+  available.reserve(programs.size());
+
+  auto rebuild_sampler = [&](sim::SimTime t) {
+    weights.clear();
+    available.clear();
+    for (std::uint32_t i = 0; i < programs.size(); ++i) {
+      const double w = popularity_weight_at(programs[i], t, config);
+      if (w > 0.0) {
+        weights.push_back(w);
+        available.push_back(i);
+      }
+    }
+    VODCACHE_ASSERT(!weights.empty());
+    program_sampler = AliasTable(weights);
+  };
+
+  std::vector<SessionRecord> sessions;
+  sessions.reserve(static_cast<std::size_t>(
+      sessions_per_day * static_cast<double>(config.days) * 1.1));
+
+  const auto horizon = sim::SimTime::days(config.days);
+  // Arrivals are generated hour by hour: draw a Poisson count for the hour,
+  // then place each session uniformly inside it.
+  for (std::int32_t day = 0; day < config.days; ++day) {
+    for (int hour = 0; hour < 24; ++hour) {
+      const auto hour_begin = sim::SimTime::days(day) + sim::SimTime::hours(hour);
+      if (hour_begin >= next_rebuild) {
+        rebuild_sampler(hour_begin);
+        next_rebuild = hour_begin + rebuild_interval;
+      }
+      const double lambda =
+          sessions_per_day * config.hourly_weights[hour] / hour_weight_sum;
+      const std::uint64_t count = rng.poisson(lambda);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        SessionRecord record;
+        record.start =
+            hour_begin + sim::SimTime::millis(rng.uniform_int(0, 3600 * 1000 - 1));
+        record.user =
+            UserId{static_cast<std::uint32_t>(rng.uniform_u64(config.user_count))};
+        const std::uint32_t program = available[program_sampler.sample(rng)];
+        record.program = ProgramId{program};
+        record.duration =
+            sample_session_length(programs[program].length, config, rng);
+        sessions.push_back(record);
+      }
+    }
+  }
+
+  Trace trace(std::move(catalog), std::move(sessions), config.user_count,
+              horizon);
+  trace.validate();
+  return trace;
+}
+
+}  // namespace vodcache::trace

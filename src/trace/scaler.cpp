@@ -1,0 +1,72 @@
+#include "trace/scaler.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace vodcache::trace {
+
+Trace scale_population(const Trace& input, std::uint32_t factor,
+                       std::uint64_t seed) {
+  VODCACHE_EXPECTS(factor >= 1);
+  if (factor == 1) return input;
+
+  Rng rng(seed);
+  const std::uint32_t base_users = input.user_count();
+  const auto horizon = input.horizon();
+
+  std::vector<SessionRecord> scaled;
+  scaled.reserve(input.session_count() * factor);
+  for (const auto& record : input.sessions()) {
+    for (std::uint32_t k = 0; k < factor; ++k) {
+      SessionRecord copy = record;
+      copy.user = UserId{record.user.value() + k * base_users};
+      if (k > 0) {
+        // Paper: "randomly change the start time between 1 and 60 seconds
+        // to eliminate problems caused by synchronous accesses."
+        copy.start = record.start + sim::SimTime::seconds(rng.uniform_int(1, 60));
+        // Keep the jittered copy inside the horizon and after release.
+        if (copy.start >= horizon) {
+          copy.start = horizon - sim::SimTime::millis(1);
+        }
+      }
+      scaled.push_back(copy);
+    }
+  }
+
+  Trace out(input.catalog(), std::move(scaled), base_users * factor, horizon);
+  out.validate();
+  return out;
+}
+
+Trace scale_catalog(const Trace& input, std::uint32_t factor,
+                    std::uint64_t seed) {
+  VODCACHE_EXPECTS(factor >= 1);
+  if (factor == 1) return input;
+
+  Rng rng(seed);
+  const auto base_programs =
+      static_cast<std::uint32_t>(input.catalog().size());
+
+  std::vector<ProgramInfo> programs;
+  programs.reserve(static_cast<std::size_t>(base_programs) * factor);
+  for (std::uint32_t k = 0; k < factor; ++k) {
+    for (const auto& info : input.catalog().programs()) {
+      programs.push_back(info);
+    }
+  }
+
+  std::vector<SessionRecord> scaled = input.sessions();
+  for (auto& record : scaled) {
+    const auto k = static_cast<std::uint32_t>(rng.uniform_u64(factor));
+    record.program = ProgramId{record.program.value() + k * base_programs};
+  }
+
+  Trace out(Catalog(std::move(programs)), std::move(scaled),
+            input.user_count(), input.horizon());
+  out.validate();
+  return out;
+}
+
+}  // namespace vodcache::trace

@@ -1,0 +1,31 @@
+// Trace scaling transforms, exactly as described in section V-A of the
+// paper (used by its figure 15 / table 16 scalability experiments):
+//
+//  * Population x n: create n copies of every user; every event is executed
+//    once per copy, against the same program, with the copies' start times
+//    jittered by a uniform 1-60 seconds to avoid synchronized accesses.
+//  * Catalog x n: create n copies of every program; every event is remapped
+//    to one of the n copies uniformly at random.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+
+namespace vodcache::trace {
+
+// Returns a trace with factor x users and factor x events.  Copy k of user u
+// has id u + k*user_count.  Copy 0 keeps the original timestamps; copies
+// k>0 are shifted by uniform [1, 60] whole seconds (clamped inside the
+// horizon).  factor == 1 returns the input unchanged.
+[[nodiscard]] Trace scale_population(const Trace& input, std::uint32_t factor,
+                                     std::uint64_t seed = 0x5ca1ab1e);
+
+// Returns a trace whose catalog holds factor x programs (copy k of program p
+// has id p + k*program_count, same length/introduction/weight); every event
+// is remapped to a uniformly-random copy.  factor == 1 returns the input
+// unchanged.
+[[nodiscard]] Trace scale_catalog(const Trace& input, std::uint32_t factor,
+                                  std::uint64_t seed = 0xcab1e5);
+
+}  // namespace vodcache::trace

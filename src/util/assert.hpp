@@ -1,0 +1,41 @@
+// Contract-checking macros (Core Guidelines I.6/I.8 style Expects/Ensures).
+//
+// Checks are active in all build types: the simulator is a measurement
+// instrument, and a silently-corrupted invariant produces plausible-looking
+// but wrong numbers, which is worse than an abort.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vodcache::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "vodcache: %s violated: (%s) at %s:%d\n", kind, expr,
+               file, line);
+  std::abort();
+}
+
+}  // namespace vodcache::detail
+
+#define VODCACHE_EXPECTS(cond)                                             \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::vodcache::detail::contract_failure("precondition", #cond,          \
+                                           __FILE__, __LINE__);            \
+  } while (false)
+
+#define VODCACHE_ENSURES(cond)                                             \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::vodcache::detail::contract_failure("postcondition", #cond,         \
+                                           __FILE__, __LINE__);            \
+  } while (false)
+
+#define VODCACHE_ASSERT(cond)                                              \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::vodcache::detail::contract_failure("invariant", #cond,             \
+                                           __FILE__, __LINE__);            \
+  } while (false)

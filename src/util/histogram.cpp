@@ -1,0 +1,56 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace vodcache {
+
+Histogram::Histogram(double lo, double hi, double bucket_width)
+    : lo_(lo), width_(bucket_width) {
+  VODCACHE_EXPECTS(hi > lo);
+  VODCACHE_EXPECTS(bucket_width > 0.0);
+  const auto n = static_cast<std::size_t>(std::ceil((hi - lo) / bucket_width));
+  counts_.assign(std::max<std::size_t>(n, 1), 0);
+}
+
+std::size_t Histogram::index_of(double value) const {
+  if (value < lo_) return 0;
+  const auto raw = static_cast<std::size_t>((value - lo_) / width_);
+  return std::min(raw, counts_.size() - 1);
+}
+
+void Histogram::add(double value, std::uint64_t count) {
+  counts_[index_of(value)] += count;
+  total_ += count;
+}
+
+std::uint64_t Histogram::bucket(std::size_t i) const {
+  VODCACHE_EXPECTS(i < counts_.size());
+  return counts_[i];
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  VODCACHE_EXPECTS(i < counts_.size());
+  return lo_ + static_cast<double>(i) * width_;
+}
+
+double Histogram::bucket_hi(std::size_t i) const {
+  return bucket_lo(i) + width_;
+}
+
+double Histogram::cdf_at(double value) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t below = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (bucket_hi(i) <= value) {
+      below += counts_[i];
+    } else {
+      break;
+    }
+  }
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+}  // namespace vodcache

@@ -1,0 +1,38 @@
+// Fixed-width bucket histogram, used for session-length and load
+// distributions in the analysis module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vodcache {
+
+class Histogram {
+ public:
+  // Buckets of width `bucket_width` covering [lo, hi); values outside are
+  // clamped into the first/last bucket.
+  Histogram(double lo, double hi, double bucket_width);
+
+  void add(double value, std::uint64_t count = 1);
+
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const;
+  [[nodiscard]] double bucket_lo(std::size_t i) const;
+  [[nodiscard]] double bucket_hi(std::size_t i) const;
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  // Fraction of mass at or below `value` (empirical CDF at bucket
+  // granularity, counting whole buckets whose upper edge is <= value).
+  [[nodiscard]] double cdf_at(double value) const;
+
+ private:
+  [[nodiscard]] std::size_t index_of(double value) const;
+
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace vodcache

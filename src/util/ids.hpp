@@ -1,0 +1,50 @@
+// Strongly-typed integer identifiers (Core Guidelines I.4: precise,
+// strongly-typed interfaces).  A UserId cannot be passed where a ProgramId
+// is expected; both are zero-overhead wrappers over std::uint32_t.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace vodcache {
+
+// Tagged integer id.  `Tag` is an empty struct that exists only to make
+// distinct instantiations distinct types.
+template <typename Tag>
+class StrongId {
+ public:
+  using value_type = std::uint32_t;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(value_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+ private:
+  value_type value_ = 0;
+};
+
+struct UserTag {};
+struct ProgramTag {};
+struct NeighborhoodTag {};
+struct PeerTag {};
+
+using UserId = StrongId<UserTag>;
+using ProgramId = StrongId<ProgramTag>;
+// Index of a neighborhood within the deployment (0 .. n_neighborhoods-1).
+using NeighborhoodId = StrongId<NeighborhoodTag>;
+// Index of a set-top box *within its neighborhood*.
+using PeerId = StrongId<PeerTag>;
+
+}  // namespace vodcache
+
+template <typename Tag>
+struct std::hash<vodcache::StrongId<Tag>> {
+  std::size_t operator()(vodcache::StrongId<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

@@ -1,0 +1,55 @@
+// Descriptive statistics used throughout the evaluation: means, quantiles
+// (the paper's error bars are 5%/95% quantiles), and empirical CDFs
+// (figures 3 and 6 are ECDFs).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vodcache {
+
+[[nodiscard]] double mean(std::span<const double> xs);
+[[nodiscard]] double variance(std::span<const double> xs);  // population
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+// Linear-interpolation quantile (type 7, the numpy/R default).
+// q in [0,1]; xs need not be sorted.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+// Quantile of an already ascending-sorted sample (no copy).
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q);
+
+// Five-number-style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double q05 = 0.0;
+  double median = 0.0;
+  double q95 = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+// Streaming accumulator (Welford) for mean/variance without storing samples.
+class RunningStats {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const;  // population
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace vodcache

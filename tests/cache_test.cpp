@@ -1,0 +1,422 @@
+// Unit tests for the cache layer: the cached-set index and all four
+// replacement strategies from the paper.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cache/future_index.hpp"
+#include "cache/global_lfu.hpp"
+#include "cache/lfu.hpp"
+#include "cache/lru.hpp"
+#include "cache/oracle.hpp"
+#include "cache/popularity_board.hpp"
+#include "cache/victim_index.hpp"
+
+namespace vodcache::cache {
+namespace {
+
+sim::SimTime at_min(std::int64_t minutes) { return sim::SimTime::minutes(minutes); }
+
+// ---------------------------------------------------------------- CachedSet
+
+TEST(CachedSet, InsertEraseContains) {
+  CachedSet set;
+  EXPECT_TRUE(set.empty());
+  set.insert(ProgramId{1}, {5, 0});
+  EXPECT_TRUE(set.contains(ProgramId{1}));
+  EXPECT_EQ(set.size(), 1u);
+  set.erase(ProgramId{1});
+  EXPECT_FALSE(set.contains(ProgramId{1}));
+}
+
+TEST(CachedSet, MinReturnsLowestScore) {
+  CachedSet set;
+  set.insert(ProgramId{1}, {5, 0});
+  set.insert(ProgramId{2}, {3, 0});
+  set.insert(ProgramId{3}, {9, 0});
+  EXPECT_EQ(set.min(), ProgramId{2});
+}
+
+TEST(CachedSet, MinOfEmptyIsNullopt) {
+  const CachedSet set;
+  EXPECT_EQ(set.min(), std::nullopt);
+}
+
+TEST(CachedSet, UpdateRerANKS) {
+  CachedSet set;
+  set.insert(ProgramId{1}, {5, 0});
+  set.insert(ProgramId{2}, {3, 0});
+  set.update(ProgramId{2}, {10, 0});
+  EXPECT_EQ(set.min(), ProgramId{1});
+  // Downward updates re-rank too (LFU window expiry path).
+  set.update(ProgramId{1}, {20, 0});
+  set.update(ProgramId{2}, {1, 0});
+  EXPECT_EQ(set.min(), ProgramId{2});
+}
+
+TEST(CachedSet, UpdateOfAbsentIsNoOp) {
+  CachedSet set;
+  set.update(ProgramId{9}, {1, 1});
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(CachedSet, TieBrokenBySecondComponent) {
+  CachedSet set;
+  set.insert(ProgramId{1}, {5, 10});  // same count, later recency
+  set.insert(ProgramId{2}, {5, 3});   // earlier recency -> evict first
+  EXPECT_EQ(set.min(), ProgramId{2});
+}
+
+TEST(CachedSet, ScoreOf) {
+  CachedSet set;
+  set.insert(ProgramId{4}, {7, 2});
+  EXPECT_EQ(set.score_of(ProgramId{4}), (CachedSet::Score{7, 2}));
+  EXPECT_EQ(set.score_of(ProgramId{5}), std::nullopt);
+}
+
+TEST(CachedSet, ProgramsListsAll) {
+  CachedSet set;
+  set.insert(ProgramId{1}, {1, 0});
+  set.insert(ProgramId{2}, {2, 0});
+  const auto programs = set.programs();
+  EXPECT_EQ(programs.size(), 2u);
+}
+
+// --------------------------------------------------------------------- LRU
+
+TEST(Lru, VictimIsLeastRecentlyUsed) {
+  LruStrategy lru;
+  lru.record_access(ProgramId{1}, at_min(1));
+  lru.on_admit(ProgramId{1}, at_min(1));
+  lru.record_access(ProgramId{2}, at_min(2));
+  lru.on_admit(ProgramId{2}, at_min(2));
+  lru.record_access(ProgramId{3}, at_min(3));
+  lru.on_admit(ProgramId{3}, at_min(3));
+  EXPECT_EQ(lru.victim(at_min(4)), ProgramId{1});
+
+  // Touch 1 -> victim moves to 2.
+  lru.record_access(ProgramId{1}, at_min(5));
+  EXPECT_EQ(lru.victim(at_min(6)), ProgramId{2});
+}
+
+TEST(Lru, CandidateAlwaysOutranksVictim) {
+  // "If it is not in the cache already, it is added immediately."
+  LruStrategy lru;
+  lru.record_access(ProgramId{1}, at_min(1));
+  lru.on_admit(ProgramId{1}, at_min(1));
+  lru.record_access(ProgramId{9}, at_min(2));  // the candidate, just accessed
+  EXPECT_GT(lru.score(ProgramId{9}, at_min(2)),
+            lru.score(*lru.victim(at_min(2)), at_min(2)));
+}
+
+TEST(Lru, EvictRemovesFromCachedSet) {
+  LruStrategy lru;
+  lru.record_access(ProgramId{1}, at_min(1));
+  lru.on_admit(ProgramId{1}, at_min(1));
+  lru.on_evict(ProgramId{1});
+  EXPECT_FALSE(lru.is_cached(ProgramId{1}));
+  EXPECT_EQ(lru.victim(at_min(2)), std::nullopt);
+}
+
+TEST(Lru, NeverAccessedScoresLowest) {
+  LruStrategy lru;
+  lru.record_access(ProgramId{1}, at_min(1));
+  EXPECT_LT(lru.score(ProgramId{42}, at_min(2)),
+            lru.score(ProgramId{1}, at_min(2)));
+}
+
+TEST(Lru, ClassicReferenceSequence) {
+  // Reference string 1,2,3,1,4 with capacity 3 (admissions driven manually
+  // the way the index server would): 4 must evict 2.
+  LruStrategy lru;
+  for (const auto [p, t] :
+       {std::pair{1, 1}, {2, 2}, {3, 3}, {1, 4}}) {
+    lru.record_access(ProgramId{static_cast<std::uint32_t>(p)}, at_min(t));
+    if (!lru.is_cached(ProgramId{static_cast<std::uint32_t>(p)})) {
+      lru.on_admit(ProgramId{static_cast<std::uint32_t>(p)}, at_min(t));
+    }
+  }
+  lru.record_access(ProgramId{4}, at_min(5));
+  EXPECT_EQ(lru.victim(at_min(5)), ProgramId{2});
+}
+
+// --------------------------------------------------------------------- LFU
+
+TEST(Lfu, VictimIsLeastFrequent) {
+  LfuStrategy lfu(sim::SimTime::hours(24));
+  for (int i = 0; i < 3; ++i) lfu.record_access(ProgramId{1}, at_min(i));
+  lfu.on_admit(ProgramId{1}, at_min(3));
+  lfu.record_access(ProgramId{2}, at_min(4));
+  lfu.on_admit(ProgramId{2}, at_min(4));
+  EXPECT_EQ(lfu.victim(at_min(5)), ProgramId{2});
+}
+
+TEST(Lfu, FrequencyCountsWindowOnly) {
+  LfuStrategy lfu(sim::SimTime::hours(1));
+  lfu.record_access(ProgramId{1}, at_min(0));
+  lfu.record_access(ProgramId{1}, at_min(10));
+  EXPECT_EQ(lfu.frequency(ProgramId{1}), 2);
+  // Advance past the window: first event expires.
+  lfu.record_access(ProgramId{2}, at_min(65));
+  EXPECT_EQ(lfu.frequency(ProgramId{1}), 1);
+  lfu.record_access(ProgramId{2}, at_min(75));
+  EXPECT_EQ(lfu.frequency(ProgramId{1}), 0);
+}
+
+TEST(Lfu, ExpiryRerANKSCachedPrograms) {
+  LfuStrategy lfu(sim::SimTime::hours(1));
+  // Program 1: burst of 3 accesses at t=0; program 2: steady 2 accesses.
+  for (int i = 0; i < 3; ++i) lfu.record_access(ProgramId{1}, at_min(0));
+  lfu.on_admit(ProgramId{1}, at_min(0));
+  lfu.record_access(ProgramId{2}, at_min(30));
+  lfu.record_access(ProgramId{2}, at_min(55));
+  lfu.on_admit(ProgramId{2}, at_min(55));
+  EXPECT_EQ(lfu.victim(at_min(56)), ProgramId{2});
+  // After t=60+30, program 1's burst has fully expired but program 2 keeps
+  // one in-window access: victim flips to 1.
+  lfu.record_access(ProgramId{3}, at_min(80));
+  EXPECT_EQ(lfu.victim(at_min(80)), ProgramId{1});
+}
+
+TEST(Lfu, TiesResolveByRecency) {
+  // "with ties being resolved using an LRU strategy"
+  LfuStrategy lfu(sim::SimTime::hours(24));
+  lfu.record_access(ProgramId{1}, at_min(1));
+  lfu.on_admit(ProgramId{1}, at_min(1));
+  lfu.record_access(ProgramId{2}, at_min(2));
+  lfu.on_admit(ProgramId{2}, at_min(2));
+  // Equal frequency (1 each); 1 is older -> victim.
+  EXPECT_EQ(lfu.victim(at_min(3)), ProgramId{1});
+}
+
+TEST(Lfu, ZeroHistoryDegeneratesToLru) {
+  LfuStrategy lfu(sim::SimTime{});
+  for (int i = 0; i < 5; ++i) lfu.record_access(ProgramId{1}, at_min(i));
+  lfu.on_admit(ProgramId{1}, at_min(5));
+  lfu.record_access(ProgramId{2}, at_min(6));
+  lfu.on_admit(ProgramId{2}, at_min(6));
+  // Despite program 1's five accesses, frequency is always 0 with an empty
+  // history; recency decides and 1 is older.
+  EXPECT_EQ(lfu.frequency(ProgramId{1}), 0);
+  EXPECT_EQ(lfu.victim(at_min(7)), ProgramId{1});
+}
+
+TEST(Lfu, CandidateComparisonUsesFrequency) {
+  LfuStrategy lfu(sim::SimTime::hours(24));
+  for (int i = 0; i < 5; ++i) lfu.record_access(ProgramId{1}, at_min(i));
+  lfu.on_admit(ProgramId{1}, at_min(5));
+  lfu.record_access(ProgramId{2}, at_min(6));
+  // Candidate 2 accessed once: does NOT outrank cached program 1.
+  EXPECT_LT(lfu.score(ProgramId{2}, at_min(6)),
+            lfu.score(ProgramId{1}, at_min(6)));
+}
+
+// -------------------------------------------------------------- FutureIndex
+
+TEST(FutureIndex, CountsWithinHorizon) {
+  FutureIndex index(3);
+  index.add(ProgramId{0}, at_min(10));
+  index.add(ProgramId{0}, at_min(20));
+  index.add(ProgramId{0}, at_min(500));
+  index.add(ProgramId{1}, at_min(15));
+  index.freeze();
+
+  EXPECT_EQ(index.count_in(ProgramId{0}, at_min(0), sim::SimTime::minutes(30)),
+            2);
+  EXPECT_EQ(index.count_in(ProgramId{0}, at_min(0), sim::SimTime::hours(24)),
+            3);
+  EXPECT_EQ(index.count_in(ProgramId{2}, at_min(0), sim::SimTime::hours(24)),
+            0);
+}
+
+TEST(FutureIndex, StrictlyAfterSemantics) {
+  FutureIndex index(1);
+  index.add(ProgramId{0}, at_min(10));
+  index.freeze();
+  // An access exactly at t is not "in the future".
+  EXPECT_EQ(index.count_in(ProgramId{0}, at_min(10), sim::SimTime::hours(1)),
+            0);
+  // An access exactly at t + horizon is included.
+  EXPECT_EQ(index.count_in(ProgramId{0}, at_min(9), sim::SimTime::minutes(1)),
+            1);
+}
+
+TEST(FutureIndex, UnsortedInputIsSortedByFreeze) {
+  FutureIndex index(1);
+  index.add(ProgramId{0}, at_min(50));
+  index.add(ProgramId{0}, at_min(10));
+  index.add(ProgramId{0}, at_min(30));
+  index.freeze();
+  EXPECT_EQ(index.count_in(ProgramId{0}, at_min(0), sim::SimTime::minutes(35)),
+            2);
+}
+
+// ------------------------------------------------------------------ Oracle
+
+TEST(Oracle, VictimHasFewestFutureAccesses) {
+  FutureIndex index(3);
+  // Program 0: heavy future use; program 1: one use; program 2: none.
+  for (int i = 0; i < 10; ++i) index.add(ProgramId{0}, at_min(100 + i));
+  index.add(ProgramId{1}, at_min(100));
+  index.freeze();
+
+  OracleStrategy oracle(index, sim::SimTime::days(3));
+  for (std::uint32_t p = 0; p < 3; ++p) {
+    oracle.record_access(ProgramId{p}, at_min(p));
+    oracle.on_admit(ProgramId{p}, at_min(p));
+  }
+  EXPECT_EQ(oracle.victim(at_min(5)), ProgramId{2});
+}
+
+TEST(Oracle, ScoresDriftAsWindowSlides) {
+  FutureIndex index(1);
+  index.add(ProgramId{0}, at_min(100));
+  index.freeze();
+  OracleStrategy oracle(index, sim::SimTime::hours(1));
+  EXPECT_EQ(oracle.score(ProgramId{0}, at_min(50)).first, 1);
+  // By t=101 the access is in the past: zero future value.
+  EXPECT_EQ(oracle.score(ProgramId{0}, at_min(101)).first, 0);
+}
+
+TEST(Oracle, RefreshRerANKSAfterDrift) {
+  FutureIndex index(2);
+  // Program 0's future use is imminent then gone; program 1's is later.
+  index.add(ProgramId{0}, at_min(10));
+  index.add(ProgramId{1}, at_min(300));
+  index.add(ProgramId{1}, at_min(310));
+  index.freeze();
+
+  OracleStrategy oracle(index, sim::SimTime::hours(6),
+                        /*refresh_interval=*/sim::SimTime::minutes(30));
+  oracle.record_access(ProgramId{0}, at_min(0));
+  oracle.on_admit(ProgramId{0}, at_min(0));
+  oracle.record_access(ProgramId{1}, at_min(1));
+  oracle.on_admit(ProgramId{1}, at_min(1));
+  // Early: program 1 (2 future) outranks program 0 (1 future).
+  EXPECT_EQ(oracle.victim(at_min(2)), ProgramId{0});
+  // After program 0's sole future access passes, refresh flips nothing (0
+  // still lowest), but by t=320 program 1's accesses also passed; then both
+  // are zero and recency breaks the tie (0 accessed earlier).
+  EXPECT_EQ(oracle.victim(at_min(400)), ProgramId{0});
+}
+
+// --------------------------------------------------------- PopularityBoard
+
+TEST(PopularityBoard, LiveCountsWithNoLag) {
+  PopularityBoard board(4, sim::SimTime::hours(1), sim::SimTime{});
+  board.record(ProgramId{1}, at_min(0));
+  board.record(ProgramId{1}, at_min(10));
+  EXPECT_EQ(board.visible_count(ProgramId{1}, at_min(20)), 2);
+  // First record expires at t=60.
+  EXPECT_EQ(board.visible_count(ProgramId{1}, at_min(61)), 1);
+}
+
+TEST(PopularityBoard, LiveNotificationsFire) {
+  PopularityBoard board(2, sim::SimTime::hours(1), sim::SimTime{});
+  int notifications = 0;
+  board.subscribe([&](ProgramId, sim::SimTime) { ++notifications; });
+  board.record(ProgramId{0}, at_min(0));
+  EXPECT_EQ(notifications, 1);
+  // Expiry also notifies.
+  board.advance(at_min(70));
+  EXPECT_EQ(notifications, 2);
+}
+
+TEST(PopularityBoard, LaggedCountsFreezeAtBatch) {
+  PopularityBoard board(2, sim::SimTime::hours(24),
+                        /*lag=*/sim::SimTime::minutes(30));
+  board.record(ProgramId{0}, at_min(5));
+  // Before the first batch boundary, the snapshot is empty.
+  EXPECT_EQ(board.visible_count(ProgramId{0}, at_min(10)), 0);
+  // After the 30-minute boundary the access becomes visible.
+  EXPECT_EQ(board.visible_count(ProgramId{0}, at_min(31)), 1);
+  // An access at t=40 stays invisible until t=60.
+  board.record(ProgramId{0}, at_min(40));
+  EXPECT_EQ(board.visible_count(ProgramId{0}, at_min(45)), 1);
+  EXPECT_EQ(board.visible_count(ProgramId{0}, at_min(61)), 2);
+}
+
+TEST(PopularityBoard, SnapshotEpochAdvances) {
+  PopularityBoard board(1, sim::SimTime::hours(24),
+                        sim::SimTime::minutes(30));
+  EXPECT_EQ(board.snapshot_epoch(), 0u);
+  board.advance(at_min(31));
+  EXPECT_EQ(board.snapshot_epoch(), 1u);
+  board.advance(at_min(95));
+  EXPECT_EQ(board.snapshot_epoch(), 2u);
+}
+
+TEST(PopularityBoard, LaggedExpiryHonorsWindowAtBoundary) {
+  PopularityBoard board(1, sim::SimTime::hours(1), sim::SimTime::minutes(30));
+  board.record(ProgramId{0}, at_min(0));
+  // At the t=90 boundary the access is 90 > 60 minutes old: expired.
+  EXPECT_EQ(board.visible_count(ProgramId{0}, at_min(95)), 0);
+  // At the t=30 boundary it was visible.
+  PopularityBoard board2(1, sim::SimTime::hours(1), sim::SimTime::minutes(30));
+  board2.record(ProgramId{0}, at_min(0));
+  EXPECT_EQ(board2.visible_count(ProgramId{0}, at_min(35)), 1);
+}
+
+// --------------------------------------------------------------- GlobalLFU
+
+TEST(GlobalLfu, SeesAccessesFromOtherNeighborhoods) {
+  auto board = std::make_shared<PopularityBoard>(4, sim::SimTime::hours(24),
+                                                 sim::SimTime{});
+  GlobalLfuStrategy a(board);
+  GlobalLfuStrategy b(board);
+
+  // Neighborhood A sees lots of program 1; B has never seen it locally.
+  for (int i = 0; i < 5; ++i) a.record_access(ProgramId{1}, at_min(i));
+  b.record_access(ProgramId{2}, at_min(6));
+  // B's scoring still ranks 1 above 2 thanks to global data.
+  EXPECT_GT(b.score(ProgramId{1}, at_min(7)), b.score(ProgramId{2}, at_min(7)));
+}
+
+TEST(GlobalLfu, LiveModeRerANKSRemoteCachedPrograms) {
+  auto board = std::make_shared<PopularityBoard>(4, sim::SimTime::hours(24),
+                                                 sim::SimTime{});
+  GlobalLfuStrategy a(board);
+  GlobalLfuStrategy b(board);
+
+  b.record_access(ProgramId{1}, at_min(0));
+  b.on_admit(ProgramId{1}, at_min(0));
+  b.record_access(ProgramId{2}, at_min(1));
+  b.record_access(ProgramId{2}, at_min(1));
+  b.on_admit(ProgramId{2}, at_min(1));
+  EXPECT_EQ(b.victim(at_min(2)), ProgramId{1});
+
+  // A's traffic boosts program 1 globally; B's victim flips to 2 without B
+  // seeing any local access.
+  for (int i = 0; i < 4; ++i) a.record_access(ProgramId{1}, at_min(3));
+  EXPECT_EQ(b.victim(at_min(4)), ProgramId{2});
+}
+
+TEST(GlobalLfu, LaggedModeAugmentsSnapshotWithLocal) {
+  auto board = std::make_shared<PopularityBoard>(
+      4, sim::SimTime::hours(24), /*lag=*/sim::SimTime::minutes(30));
+  GlobalLfuStrategy a(board);
+  GlobalLfuStrategy b(board);
+
+  // Before any batch: A's local accesses count for A but not for B.
+  a.record_access(ProgramId{1}, at_min(1));
+  a.record_access(ProgramId{1}, at_min(2));
+  b.record_access(ProgramId{2}, at_min(3));
+  EXPECT_EQ(a.score(ProgramId{1}, at_min(4)).first, 2);
+  EXPECT_EQ(b.score(ProgramId{1}, at_min(4)).first, 0);
+  EXPECT_EQ(b.score(ProgramId{2}, at_min(4)).first, 1);
+
+  // After the batch, B sees A's traffic.
+  EXPECT_EQ(b.score(ProgramId{1}, at_min(31)).first, 2);
+}
+
+TEST(GlobalLfu, NameReflectsLag) {
+  auto live = std::make_shared<PopularityBoard>(1, sim::SimTime::hours(1),
+                                                sim::SimTime{});
+  auto lagged = std::make_shared<PopularityBoard>(1, sim::SimTime::hours(1),
+                                                  sim::SimTime::minutes(30));
+  EXPECT_EQ(GlobalLfuStrategy(live).name(), "GlobalLFU");
+  EXPECT_EQ(GlobalLfuStrategy(lagged).name(), "GlobalLFU(lagged)");
+}
+
+}  // namespace
+}  // namespace vodcache::cache

@@ -1,0 +1,402 @@
+// Tests for the core system: the index-server request flow of the paper's
+// figures 4 and 5, and small hand-checkable end-to-end VodSystem runs.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cache/lfu.hpp"
+#include "cache/lru.hpp"
+#include "core/index_server.hpp"
+#include "core/media_server.hpp"
+#include "core/vod_system.hpp"
+#include "test_support.hpp"
+
+namespace vodcache::core {
+namespace {
+
+using test::make_trace;
+using test::uniform_catalog;
+
+SystemConfig small_config() {
+  SystemConfig config;
+  config.neighborhood_size = 4;
+  config.per_peer_storage = DataSize::gigabytes(1);
+  config.stream_rate = DataRate::megabits_per_second(8.0);
+  config.segment_duration = sim::SimTime::minutes(5);
+  config.strategy.kind = StrategyKind::Lru;
+  config.warmup = sim::SimTime{};
+  return config;
+}
+
+sim::Interval span(std::int64_t from_s, std::int64_t to_s) {
+  return {sim::SimTime::seconds(from_s), sim::SimTime::seconds(to_s)};
+}
+
+constexpr double kSegmentBits = 8e6 * 300;
+// Two-segment program footprint used by the direct IndexServer tests.
+constexpr auto kProgramSize = DataSize::megabytes(600);
+constexpr auto kOneSegment = DataSize::megabytes(300);
+
+struct Fixture {
+  explicit Fixture(SystemConfig cfg = small_config())
+      : config(cfg),
+        media(sim::SimTime::days(1), config.meter_bucket),
+        server(NeighborhoodId{0}, config.neighborhood_size, config,
+               std::make_unique<cache::LruStrategy>(), media,
+               sim::SimTime::days(1)) {}
+
+  SystemConfig config;
+  MediaServer media;
+  IndexServer server;
+};
+
+// -------------------------------------------------- request flow (fig 4/5)
+
+TEST(IndexServer, ColdMissGoesToServerAndFills) {
+  Fixture f;
+  const bool admit = f.server.start_session(ProgramId{0}, kProgramSize, sim::SimTime{});
+  EXPECT_TRUE(admit);  // LRU admits immediately
+
+  const auto result = f.server.serve_segment(
+      PeerId{0}, {ProgramId{0}, 0}, span(0, 300), admit, /*full_slice=*/true);
+  EXPECT_EQ(result, ServeResult::MissCold);
+  EXPECT_DOUBLE_EQ(f.media.bits_served(), kSegmentBits);
+  // The broadcast was cached off the wire.
+  EXPECT_TRUE(f.server.store().contains({ProgramId{0}, 0}));
+  EXPECT_EQ(f.server.counters().fills, 1u);
+}
+
+TEST(IndexServer, SecondRequestIsPeerHit) {
+  Fixture f;
+  const bool admit = f.server.start_session(ProgramId{0}, kProgramSize, sim::SimTime{});
+  f.server.serve_segment(PeerId{0}, {ProgramId{0}, 0}, span(0, 300), admit,
+                         true);
+  const auto result = f.server.serve_segment(
+      PeerId{1}, {ProgramId{0}, 0}, span(400, 700), admit, true);
+  EXPECT_EQ(result, ServeResult::PeerHit);
+  // Server served only the first transmission.
+  EXPECT_DOUBLE_EQ(f.media.bits_served(), kSegmentBits);
+  EXPECT_EQ(f.server.counters().hits, 1u);
+}
+
+TEST(IndexServer, CoaxCarriesHitsAndMissesAlike) {
+  // Section VI-B: the broadcast consumes the same coax bandwidth whether a
+  // peer or the headend sends it.
+  Fixture f;
+  const bool admit = f.server.start_session(ProgramId{0}, kProgramSize, sim::SimTime{});
+  f.server.serve_segment(PeerId{0}, {ProgramId{0}, 0}, span(0, 300), admit,
+                         true);
+  f.server.serve_segment(PeerId{1}, {ProgramId{0}, 0}, span(400, 700), admit,
+                         true);
+  EXPECT_DOUBLE_EQ(f.server.coax_meter().total_bits(), 2 * kSegmentBits);
+  EXPECT_DOUBLE_EQ(f.server.peer_meter().total_bits(), kSegmentBits);
+}
+
+TEST(IndexServer, ConservationCoaxEqualsServerPlusPeer) {
+  Fixture f;
+  const bool admit = f.server.start_session(ProgramId{0}, kProgramSize, sim::SimTime{});
+  for (int i = 0; i < 6; ++i) {
+    f.server.serve_segment(PeerId{static_cast<std::uint32_t>(i % 4)},
+                           {ProgramId{0}, static_cast<std::uint32_t>(i % 2)},
+                           span(i * 400, i * 400 + 300), admit, true);
+  }
+  EXPECT_NEAR(f.server.coax_meter().total_bits(),
+              f.media.bits_served() + f.server.peer_meter().total_bits(),
+              1.0);
+}
+
+TEST(IndexServer, BusyPeerTriggersMissAndReplica) {
+  auto cfg = small_config();
+  cfg.replicate_on_busy = true;  // the replication extension
+  Fixture f(cfg);
+  const bool admit = f.server.start_session(ProgramId{0}, kProgramSize, sim::SimTime{});
+  // Fill the segment once (cold miss).
+  f.server.serve_segment(PeerId{0}, {ProgramId{0}, 0}, span(0, 300), admit,
+                         true);
+  ASSERT_EQ(f.server.store().replica_count({ProgramId{0}, 0}), 1u);
+
+  // Two concurrent hits saturate the storing peer's 2 streams.
+  EXPECT_EQ(f.server.serve_segment(PeerId{1}, {ProgramId{0}, 0},
+                                   span(400, 700), admit, true),
+            ServeResult::PeerHit);
+  EXPECT_EQ(f.server.serve_segment(PeerId{2}, {ProgramId{0}, 0},
+                                   span(410, 710), admit, true),
+            ServeResult::PeerHit);
+  // Third concurrent request: storing peer busy -> miss via server, and the
+  // index server replicates the segment onto another peer.
+  EXPECT_EQ(f.server.serve_segment(PeerId{3}, {ProgramId{0}, 0},
+                                   span(420, 720), admit, true),
+            ServeResult::MissBusy);
+  EXPECT_EQ(f.server.store().replica_count({ProgramId{0}, 0}), 2u);
+
+  // A fourth concurrent request now hits the fresh replica.
+  EXPECT_EQ(f.server.serve_segment(PeerId{0}, {ProgramId{0}, 0},
+                                   span(430, 730), admit, true),
+            ServeResult::PeerHit);
+}
+
+TEST(IndexServer, NoReplicaOnBusyByDefault) {
+  // Paper-faithful default: a busy miss is served by the central server and
+  // the already-cached segment is left alone.
+  Fixture f;
+  const bool admit = f.server.start_session(ProgramId{0}, kProgramSize, sim::SimTime{});
+  f.server.serve_segment(PeerId{0}, {ProgramId{0}, 0}, span(0, 300), admit,
+                         true);
+  f.server.serve_segment(PeerId{1}, {ProgramId{0}, 0}, span(400, 700), admit,
+                         true);
+  f.server.serve_segment(PeerId{2}, {ProgramId{0}, 0}, span(410, 710), admit,
+                         true);
+  EXPECT_EQ(f.server.serve_segment(PeerId{3}, {ProgramId{0}, 0},
+                                   span(420, 720), admit, true),
+            ServeResult::MissBusy);
+  EXPECT_EQ(f.server.store().replica_count({ProgramId{0}, 0}), 1u);
+}
+
+TEST(IndexServer, ViewerPlaybackCountsAgainstServing) {
+  Fixture f;
+  const bool admit = f.server.start_session(ProgramId{0}, kProgramSize, sim::SimTime{});
+  f.server.serve_segment(PeerId{0}, {ProgramId{0}, 0}, span(0, 300), admit,
+                         true);
+  const PeerId storer = f.server.store().locate({ProgramId{0}, 0})[0];
+
+  // The storing peer starts watching two streams of its own.
+  f.server.occupy_viewer_slot(storer, span(400, 2000));
+  f.server.occupy_viewer_slot(storer, span(400, 2000));
+  // Asked to serve: at its 2-stream limit -> busy miss.
+  EXPECT_EQ(f.server.serve_segment(PeerId{1}, {ProgramId{0}, 0},
+                                   span(500, 800), admit, true),
+            ServeResult::MissBusy);
+}
+
+TEST(IndexServer, NoFillWithoutAdmission) {
+  Fixture f;
+  f.server.serve_segment(PeerId{0}, {ProgramId{0}, 0}, span(0, 300),
+                         /*admit=*/false, /*full_slice=*/true);
+  EXPECT_FALSE(f.server.store().contains({ProgramId{0}, 0}));
+  EXPECT_EQ(f.server.counters().fills, 0u);
+}
+
+TEST(IndexServer, NoFillForPartialSlice) {
+  // A viewer quitting mid-segment stops the broadcast; the partial segment
+  // is not cached.
+  Fixture f;
+  const bool admit = f.server.start_session(ProgramId{0}, kProgramSize, sim::SimTime{});
+  f.server.serve_segment(PeerId{0}, {ProgramId{0}, 0}, span(0, 120), admit,
+                         /*full_slice=*/false);
+  EXPECT_FALSE(f.server.store().contains({ProgramId{0}, 0}));
+}
+
+TEST(IndexServer, LruEvictionMakesRoom) {
+  auto config = small_config();
+  // Room for exactly two segments in the whole neighborhood: force
+  // evictions on the third distinct program.
+  config.neighborhood_size = 1;
+  config.per_peer_storage = DataSize::bytes(2 * 300 * 1'000'000);
+  Fixture f(config);
+
+  for (std::uint32_t p = 0; p < 2; ++p) {
+    const bool admit =
+        f.server.start_session(ProgramId{p}, kOneSegment,
+                               sim::SimTime::seconds(p * 1000));
+    f.server.serve_segment(PeerId{0}, {ProgramId{p}, 0},
+                           span(p * 1000, p * 1000 + 300), admit, true);
+  }
+  EXPECT_TRUE(f.server.store().has_program(ProgramId{0}));
+  EXPECT_TRUE(f.server.store().has_program(ProgramId{1}));
+
+  // Program 2 arrives: LRU discards program 0 (least recently accessed).
+  const bool admit =
+      f.server.start_session(ProgramId{2}, kOneSegment,
+                             sim::SimTime::seconds(5000));
+  f.server.serve_segment(PeerId{0}, {ProgramId{2}, 0}, span(5000, 5300),
+                         admit, true);
+  EXPECT_FALSE(f.server.store().has_program(ProgramId{0}));
+  EXPECT_TRUE(f.server.store().has_program(ProgramId{1}));
+  EXPECT_TRUE(f.server.store().has_program(ProgramId{2}));
+  EXPECT_EQ(f.server.counters().evictions, 1u);
+}
+
+TEST(IndexServer, StrategyAndStoreStayConsistent) {
+  auto config = small_config();
+  config.neighborhood_size = 2;
+  config.per_peer_storage = DataSize::bytes(300 * 1'000'000);
+  Fixture f(config);
+  for (std::uint32_t p = 0; p < 6; ++p) {
+    const bool admit =
+        f.server.start_session(ProgramId{p}, kOneSegment,
+                               sim::SimTime::seconds(p * 600));
+    f.server.serve_segment(PeerId{p % 2}, {ProgramId{p}, 0},
+                           span(p * 600, p * 600 + 300), admit, true);
+  }
+  // Every stored program is tracked by the strategy, and the strategy's
+  // cached set mirrors the store's whole-program commitments exactly.
+  for (const auto program : f.server.store().stored_programs()) {
+    EXPECT_TRUE(f.server.strategy().is_cached(program));
+  }
+  EXPECT_EQ(f.server.strategy().cached_count(),
+            f.server.store().committed_program_count());
+}
+
+// ------------------------------------------------------- VodSystem runs
+
+TEST(VodSystem, NoCacheServerLoadEqualsDemand) {
+  const auto trace = make_trace(
+      uniform_catalog(3, 30),
+      {{100, 0, 0, 900}, {200, 1, 1, 450}, {50'000, 2, 2, 1800}},
+      /*user_count=*/4);
+  auto config = small_config();
+  config.strategy.kind = StrategyKind::None;
+  config.per_peer_storage = DataSize{};
+
+  VodSystem system(trace, config);
+  const auto report = system.run();
+
+  const double demand_bits =
+      static_cast<double>(trace.total_demand(config.stream_rate).bit_count());
+  EXPECT_NEAR(report.server_bits, demand_bits, demand_bits * 1e-9);
+  EXPECT_EQ(report.hits, 0u);
+  EXPECT_EQ(report.sessions, 3u);
+}
+
+TEST(VodSystem, SegmentCountPerSession) {
+  // 700 s of viewing = segments of 300 + 300 + 100 seconds.
+  const auto trace = make_trace(uniform_catalog(1, 30), {{0, 0, 0, 700}},
+                                /*user_count=*/1);
+  auto config = small_config();
+  config.neighborhood_size = 1;
+  VodSystem system(trace, config);
+  const auto report = system.run();
+  EXPECT_EQ(report.segments, 3u);
+  EXPECT_NEAR(report.coax_bits, 8e6 * 700, 1.0);
+}
+
+TEST(VodSystem, RepeatViewingHitsCache) {
+  const auto trace = make_trace(uniform_catalog(1, 10),
+                                {{0, 0, 0, 600},      // cold: 2 segments
+                                 {10'000, 1, 0, 600},  // hits
+                                 {20'000, 2, 0, 600},  // hits
+                                 {30'000, 3, 0, 600}},
+                                /*user_count=*/4);
+  VodSystem system(trace, small_config());
+  const auto report = system.run();
+  EXPECT_EQ(report.cold_misses, 2u);
+  EXPECT_EQ(report.hits, 6u);
+  EXPECT_EQ(report.busy_misses, 0u);
+  EXPECT_NEAR(report.server_bits, 2 * kSegmentBits, 1.0);
+}
+
+TEST(VodSystem, ConservationAcrossNeighborhoods) {
+  const auto trace =
+      trace::generate_power_info_like(test::small_workload(2));
+  auto config = small_config();
+  config.neighborhood_size = 50;  // 4 neighborhoods of the 200 users
+  config.strategy.kind = StrategyKind::Lfu;
+  VodSystem system(trace, config);
+  const auto report = system.run();
+  EXPECT_EQ(report.neighborhood_count, 4u);
+  EXPECT_NEAR(report.coax_bits, report.server_bits + report.peer_bits,
+              report.coax_bits * 1e-9);
+}
+
+TEST(VodSystem, DeterministicAcrossRuns) {
+  const auto trace =
+      trace::generate_power_info_like(test::small_workload(2));
+  auto config = small_config();
+  config.neighborhood_size = 50;
+  config.strategy.kind = StrategyKind::Lfu;
+
+  VodSystem a(trace, config);
+  VodSystem b(trace, config);
+  const auto ra = a.run();
+  const auto rb = b.run();
+  EXPECT_EQ(ra.hits, rb.hits);
+  EXPECT_EQ(ra.cold_misses, rb.cold_misses);
+  EXPECT_EQ(ra.busy_misses, rb.busy_misses);
+  EXPECT_DOUBLE_EQ(ra.server_bits, rb.server_bits);
+  EXPECT_DOUBLE_EQ(ra.server_peak.mean.bps(), rb.server_peak.mean.bps());
+}
+
+TEST(VodSystem, RunIsSingleShot) {
+  const auto trace = make_trace(uniform_catalog(1), {{0, 0, 0, 60}}, 1);
+  VodSystem system(trace, small_config());
+  (void)system.run();
+  EXPECT_DEATH((void)system.run(), "precondition");
+}
+
+TEST(VodSystem, ZeroCapacityNeverCaches) {
+  const auto trace =
+      trace::generate_power_info_like(test::small_workload(1));
+  auto config = small_config();
+  config.neighborhood_size = 50;
+  config.per_peer_storage = DataSize{};
+  config.strategy.kind = StrategyKind::Lfu;
+  VodSystem system(trace, config);
+  const auto report = system.run();
+  EXPECT_EQ(report.hits, 0u);
+  EXPECT_EQ(report.fills, 0u);
+}
+
+TEST(VodSystem, ReportAggregatesMatchNeighborhoods) {
+  const auto trace =
+      trace::generate_power_info_like(test::small_workload(2));
+  auto config = small_config();
+  config.neighborhood_size = 64;
+  VodSystem system(trace, config);
+  const auto report = system.run();
+
+  std::uint64_t sessions = 0;
+  std::uint64_t hits = 0;
+  for (const auto& n : report.neighborhoods) {
+    sessions += n.sessions;
+    hits += n.hits;
+  }
+  EXPECT_EQ(sessions, report.sessions);
+  EXPECT_EQ(hits, report.hits);
+  EXPECT_EQ(report.sessions, trace.session_count());
+}
+
+TEST(VodSystem, HitRatioAndByteRatioConsistent) {
+  const auto trace =
+      trace::generate_power_info_like(test::small_workload(2));
+  auto config = small_config();
+  config.neighborhood_size = 100;
+  VodSystem system(trace, config);
+  const auto report = system.run();
+  EXPECT_GT(report.hit_ratio(), 0.0);
+  EXPECT_LT(report.hit_ratio(), 1.0);
+  EXPECT_GT(report.byte_hit_ratio(), 0.0);
+  // Byte ratio need not equal request ratio, but must be in (0, 1).
+  EXPECT_LT(report.byte_hit_ratio(), 1.0);
+}
+
+TEST(VodSystem, FiberFeedIsCoaxMinusPeerTraffic) {
+  const auto trace =
+      trace::generate_power_info_like(test::small_workload(2));
+  auto config = small_config();
+  config.neighborhood_size = 50;
+  config.strategy.kind = StrategyKind::Lfu;
+  VodSystem system(trace, config);
+  const auto report = system.run();
+  for (const auto& n : report.neighborhoods) {
+    // Mean fiber feed equals mean coax minus mean peer-served exactly
+    // (same bucket population, linear statistic).
+    EXPECT_NEAR(n.fiber_peak.mean.bps(),
+                n.coax_peak.mean.bps() - n.peer_peak.mean.bps(),
+                1.0 + n.coax_peak.mean.bps() * 1e-9);
+    // And can never be negative or exceed the coax total.
+    EXPECT_GE(n.fiber_peak.mean.bps(), -1e-9);
+    EXPECT_LE(n.fiber_peak.q95.bps(), n.coax_peak.max.bps() + 1e-9);
+  }
+}
+
+TEST(VodSystem, WarmupShrinksToHalfHorizonForShortRuns) {
+  const auto trace = make_trace(uniform_catalog(1), {{0, 0, 0, 60}}, 1);
+  auto config = small_config();
+  config.warmup = sim::SimTime::days(7);  // longer than the 1-day horizon
+  VodSystem system(trace, config);
+  const auto report = system.run();
+  EXPECT_EQ(report.measured_from, sim::SimTime::hours(12));
+}
+
+}  // namespace
+}  // namespace vodcache::core

@@ -1,0 +1,171 @@
+// Failure injection: peers losing their disk contents mid-run.  The paper
+// assumes always-on set-top boxes with zero churn (section IV-B.3); these
+// tests exercise the extension that breaks that assumption and check that
+// the cooperative cache degrades gracefully and self-heals.
+#include <gtest/gtest.h>
+
+#include "cache/segment_store.hpp"
+#include "core/vod_system.hpp"
+#include "test_support.hpp"
+#include "trace/generator.hpp"
+
+namespace vodcache::core {
+namespace {
+
+constexpr auto kSeg = DataSize::megabytes(300);
+
+// ------------------------------------------------------- SegmentStore wipe
+
+TEST(WipePeer, RemovesOnlyThatPeersReplicas) {
+  cache::SegmentStore store(
+      std::vector<DataSize>(3, DataSize::gigabytes(1)));
+  // Two replicas of one segment on distinct peers + one other segment.
+  const auto first = store.store({ProgramId{1}, 0}, kSeg);
+  const auto second = store.store({ProgramId{1}, 0}, kSeg);
+  const auto other = store.store({ProgramId{2}, 0}, kSeg);
+  ASSERT_TRUE(first && second && other);
+
+  const auto wiped = store.wipe_peer(*first);
+  EXPECT_GE(wiped.freed, kSeg);
+  // The second replica survives, so program 1 is still locatable.
+  ASSERT_EQ(store.replica_count({ProgramId{1}, 0}), 1u);
+  EXPECT_EQ(store.locate({ProgramId{1}, 0})[0], *second);
+  EXPECT_EQ(store.peer_used(*first), DataSize{});
+}
+
+TEST(WipePeer, ReportsEmptiedPrograms) {
+  cache::SegmentStore store(
+      std::vector<DataSize>(1, DataSize::gigabytes(1)));
+  ASSERT_TRUE(store.store({ProgramId{5}, 0}, kSeg));
+  ASSERT_TRUE(store.store({ProgramId{5}, 1}, kSeg));
+  const auto wiped = store.wipe_peer(PeerId{0});
+  ASSERT_EQ(wiped.emptied_programs.size(), 1u);
+  EXPECT_EQ(wiped.emptied_programs[0], ProgramId{5});
+  EXPECT_FALSE(store.has_program(ProgramId{5}));
+  EXPECT_EQ(store.used(), DataSize{});
+}
+
+TEST(WipePeer, CommitmentsSurvive) {
+  cache::SegmentStore store(
+      std::vector<DataSize>(1, DataSize::gigabytes(1)));
+  store.commit_program(ProgramId{5}, kSeg * 2);
+  ASSERT_TRUE(store.store({ProgramId{5}, 0}, kSeg));
+  (void)store.wipe_peer(PeerId{0});
+  EXPECT_TRUE(store.has_commitment(ProgramId{5}));
+  EXPECT_EQ(store.committed_total(), kSeg * 2);
+  // The freed space is reusable immediately.
+  EXPECT_TRUE(store.store({ProgramId{5}, 0}, kSeg));
+}
+
+TEST(WipePeer, EmptyPeerIsNoOp) {
+  cache::SegmentStore store(
+      std::vector<DataSize>(2, DataSize::gigabytes(1)));
+  const auto wiped = store.wipe_peer(PeerId{1});
+  EXPECT_EQ(wiped.freed, DataSize{});
+  EXPECT_TRUE(wiped.emptied_programs.empty());
+}
+
+// --------------------------------------------------------- end-to-end runs
+
+SystemConfig failing_config(double fraction, std::int64_t at_hours) {
+  SystemConfig config;
+  config.neighborhood_size = 50;
+  config.per_peer_storage = DataSize::megabytes(800);
+  config.strategy.kind = StrategyKind::Lfu;
+  config.warmup = sim::SimTime{};
+  config.peer_failures.push_back(
+      {sim::SimTime::hours(at_hours), fraction, /*seed=*/7});
+  return config;
+}
+
+TEST(FailureInjection, InvariantsSurviveMassFailure) {
+  const auto trace =
+      trace::generate_power_info_like(test::small_workload(3));
+  const auto config = failing_config(0.5, 30);
+  VodSystem system(trace, config);
+  const auto report = system.run();
+
+  EXPECT_GT(report.peer_failures, 0u);
+  EXPECT_GT(report.wiped_bytes, 0.0);
+  // Conservation and accounting hold through the failure.
+  EXPECT_EQ(report.segments,
+            report.hits + report.cold_misses + report.busy_misses);
+  EXPECT_NEAR(report.coax_bits, report.server_bits + report.peer_bits,
+              report.coax_bits * 1e-9 + 1.0);
+  for (const auto& n : report.neighborhoods) {
+    EXPECT_LE(n.cache_used, n.cache_capacity);
+  }
+}
+
+TEST(FailureInjection, FailuresCostServerTraffic) {
+  const auto trace =
+      trace::generate_power_info_like(test::small_workload(3));
+  auto healthy = failing_config(0.0, 30);
+  healthy.peer_failures.clear();
+  const auto baseline = VodSystem(trace, healthy).run();
+  const auto failed = VodSystem(trace, failing_config(0.6, 30)).run();
+  // Losing 60% of disks mid-run must push more traffic to the server.
+  EXPECT_GT(failed.server_bits, baseline.server_bits);
+  EXPECT_LT(failed.hits, baseline.hits);
+}
+
+TEST(FailureInjection, CacheSelfHeals) {
+  // After the wipe, admitted programs re-fill from miss broadcasts: by the
+  // end of the run the cache is populated again.
+  const auto trace =
+      trace::generate_power_info_like(test::small_workload(4));
+  const auto report = VodSystem(trace, failing_config(1.0, 48)).run();
+  DataSize used;
+  for (const auto& n : report.neighborhoods) used += n.cache_used;
+  EXPECT_GT(used, DataSize{});
+  EXPECT_GT(report.fills, 0u);
+}
+
+TEST(FailureInjection, RewatchAfterFullWipeMissesAgain) {
+  // Hand-crafted: one program, one neighborhood.  The first viewing caches
+  // both segments; a full wipe between viewings forces the second viewing
+  // back to the central server, which re-fills the cache off the wire.
+  const auto trace = test::make_trace(
+      test::uniform_catalog(1, 10),
+      {{0, 0, 0, 600}, {10'000, 1, 0, 600}}, /*user_count=*/2);
+  SystemConfig config;
+  config.neighborhood_size = 2;
+  config.per_peer_storage = DataSize::gigabytes(1);
+  config.stream_rate = DataRate::megabits_per_second(8.0);
+  config.warmup = sim::SimTime{};
+  config.strategy.kind = StrategyKind::Lru;
+  config.peer_failures.push_back({sim::SimTime::seconds(5000), 1.0, 1});
+
+  const auto report = VodSystem(trace, config).run();
+  EXPECT_EQ(report.peer_failures, 2u);
+  EXPECT_EQ(report.cold_misses, 4u);  // both viewings served by the server
+  EXPECT_EQ(report.hits, 0u);
+  EXPECT_EQ(report.fills, 4u);  // the cache re-filled after the wipe
+  EXPECT_NEAR(report.wiped_bytes, 2 * 300e6, 1.0);
+}
+
+TEST(FailureInjection, DeterministicForSeed) {
+  const auto trace =
+      trace::generate_power_info_like(test::small_workload(2));
+  const auto config = failing_config(0.3, 24);
+  const auto a = VodSystem(trace, config).run();
+  const auto b = VodSystem(trace, config).run();
+  EXPECT_EQ(a.peer_failures, b.peer_failures);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_DOUBLE_EQ(a.server_bits, b.server_bits);
+}
+
+TEST(FailureInjection, MultipleWaves) {
+  const auto trace =
+      trace::generate_power_info_like(test::small_workload(3));
+  auto config = failing_config(0.2, 20);
+  config.peer_failures.push_back({sim::SimTime::hours(40), 0.2, 8});
+  config.peer_failures.push_back({sim::SimTime::hours(60), 0.2, 9});
+  const auto report = VodSystem(trace, config).run();
+  // Three waves over 300 peers at ~20% each.
+  EXPECT_GT(report.peer_failures, 100u);
+  EXPECT_LT(report.peer_failures, 260u);
+}
+
+}  // namespace
+}  // namespace vodcache::core

@@ -1,0 +1,182 @@
+// Unit tests for the HFC substrate: topology placement and set-top boxes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hfc/settop.hpp"
+#include "hfc/topology.hpp"
+
+namespace vodcache::hfc {
+namespace {
+
+// ---------------------------------------------------------------- Topology
+
+TEST(Topology, NeighborhoodCountRoundsUp) {
+  EXPECT_EQ(Topology::build(1000, 100).neighborhood_count(), 10u);
+  EXPECT_EQ(Topology::build(1001, 100).neighborhood_count(), 11u);
+  EXPECT_EQ(Topology::build(99, 100).neighborhood_count(), 1u);
+}
+
+TEST(Topology, EveryUserHasValidPlacement) {
+  const auto topology = Topology::build(937, 100);
+  for (std::uint32_t u = 0; u < 937; ++u) {
+    const auto n = topology.neighborhood_of(UserId{u});
+    const auto p = topology.peer_of(UserId{u});
+    EXPECT_LT(n.value(), topology.neighborhood_count());
+    EXPECT_LT(p.value(), topology.size_of(n));
+  }
+}
+
+TEST(Topology, PlacementIsAPartition) {
+  const auto topology = Topology::build(500, 64);
+  // (neighborhood, peer) pairs must be unique across users.
+  std::vector<std::vector<bool>> seen(topology.neighborhood_count());
+  for (std::uint32_t n = 0; n < topology.neighborhood_count(); ++n) {
+    seen[n].assign(topology.size_of(NeighborhoodId{n}), false);
+  }
+  for (std::uint32_t u = 0; u < 500; ++u) {
+    const auto n = topology.neighborhood_of(UserId{u}).value();
+    const auto p = topology.peer_of(UserId{u}).value();
+    EXPECT_FALSE(seen[n][p]) << "duplicate slot for user " << u;
+    seen[n][p] = true;
+  }
+}
+
+TEST(Topology, SizesSumToUserCount) {
+  const auto topology = Topology::build(12345, 1000);
+  std::uint64_t total = 0;
+  for (std::uint32_t n = 0; n < topology.neighborhood_count(); ++n) {
+    total += topology.size_of(NeighborhoodId{n});
+  }
+  EXPECT_EQ(total, 12345u);
+}
+
+TEST(Topology, LastNeighborhoodHoldsRemainder) {
+  const auto topology = Topology::build(250, 100);
+  EXPECT_EQ(topology.size_of(NeighborhoodId{0}), 100u);
+  EXPECT_EQ(topology.size_of(NeighborhoodId{1}), 100u);
+  EXPECT_EQ(topology.size_of(NeighborhoodId{2}), 50u);
+}
+
+TEST(Topology, ExactDivisionHasNoRemainder) {
+  const auto topology = Topology::build(300, 100);
+  EXPECT_EQ(topology.neighborhood_count(), 3u);
+  EXPECT_EQ(topology.size_of(NeighborhoodId{2}), 100u);
+}
+
+// Section V-B: "Peer placement is the same for each execution of the
+// simulation with the same neighborhood size parameter."
+TEST(Topology, PlacementDeterministicAcrossBuilds) {
+  const auto a = Topology::build(2000, 250);
+  const auto b = Topology::build(2000, 250);
+  for (std::uint32_t u = 0; u < 2000; ++u) {
+    EXPECT_EQ(a.neighborhood_of(UserId{u}), b.neighborhood_of(UserId{u}));
+    EXPECT_EQ(a.peer_of(UserId{u}), b.peer_of(UserId{u}));
+  }
+}
+
+TEST(Topology, PlacementShuffled) {
+  // Users should not be assigned in identity order (0..k to neighborhood 0).
+  const auto topology = Topology::build(10000, 1000);
+  std::uint32_t in_order = 0;
+  for (std::uint32_t u = 0; u < 1000; ++u) {
+    in_order += (topology.neighborhood_of(UserId{u}).value() == 0);
+  }
+  // Uniformly random placement puts ~10% of the first 1000 users in
+  // neighborhood 0; identity order would put 100%.
+  EXPECT_LT(in_order, 300u);
+  EXPECT_GT(in_order, 20u);
+}
+
+TEST(Topology, DifferentNeighborhoodSizeDifferentPlacement) {
+  const auto a = Topology::build(5000, 100);
+  const auto b = Topology::build(5000, 500);
+  std::uint32_t same_peer = 0;
+  for (std::uint32_t u = 0; u < 5000; ++u) {
+    same_peer += (a.peer_of(UserId{u}) == b.peer_of(UserId{u}));
+  }
+  EXPECT_LT(same_peer, 2000u);
+}
+
+// ---------------------------------------------------------------- CoaxSpec
+
+TEST(CoaxSpec, PaperConstants) {
+  const CoaxSpec spec;
+  EXPECT_DOUBLE_EQ(spec.downstream_low.gbps(), 4.9);
+  EXPECT_DOUBLE_EQ(spec.downstream_high.gbps(), 6.6);
+  EXPECT_DOUBLE_EQ(spec.tv_broadcast.gbps(), 3.3);
+  EXPECT_DOUBLE_EQ(spec.upstream.mbps(), 215.0);
+  EXPECT_NEAR(spec.available_low().gbps(), 1.6, 1e-9);
+  EXPECT_NEAR(spec.available_high().gbps(), 3.3, 1e-9);
+}
+
+// ------------------------------------------------------------- StreamSlots
+
+sim::Interval span(std::int64_t from_s, std::int64_t to_s) {
+  return {sim::SimTime::seconds(from_s), sim::SimTime::seconds(to_s)};
+}
+
+TEST(StreamSlots, AcquireUpToLimit) {
+  StreamSlots slots(2);
+  EXPECT_TRUE(slots.try_acquire(span(0, 300)));
+  EXPECT_TRUE(slots.try_acquire(span(0, 300)));
+  EXPECT_FALSE(slots.try_acquire(span(0, 300)));
+}
+
+TEST(StreamSlots, ReleasesAfterExpiry) {
+  StreamSlots slots(2);
+  EXPECT_TRUE(slots.try_acquire(span(0, 300)));
+  EXPECT_TRUE(slots.try_acquire(span(0, 300)));
+  // Both transmissions ended by t=300.
+  EXPECT_TRUE(slots.try_acquire(span(300, 600)));
+  EXPECT_EQ(slots.active(sim::SimTime::seconds(300)), 1);
+}
+
+TEST(StreamSlots, EndExactlyAtQueryIsFree) {
+  StreamSlots slots(1);
+  EXPECT_TRUE(slots.try_acquire(span(0, 100)));
+  EXPECT_EQ(slots.active(sim::SimTime::seconds(100)), 0);
+}
+
+TEST(StreamSlots, OverlappingWindows) {
+  StreamSlots slots(2);
+  EXPECT_TRUE(slots.try_acquire(span(0, 300)));
+  EXPECT_TRUE(slots.try_acquire(span(100, 400)));
+  EXPECT_FALSE(slots.try_acquire(span(200, 500)));
+  EXPECT_TRUE(slots.try_acquire(span(300, 600)));  // first expired
+}
+
+TEST(StreamSlots, UncheckedExceedsLimit) {
+  StreamSlots slots(2);
+  slots.acquire_unchecked(span(0, 300));
+  slots.acquire_unchecked(span(0, 300));
+  slots.acquire_unchecked(span(0, 300));  // viewer playback never blocked
+  EXPECT_EQ(slots.active(sim::SimTime::seconds(1)), 3);
+  EXPECT_FALSE(slots.try_acquire(span(1, 10)));
+}
+
+TEST(StreamSlots, ViewerOccupancyBlocksServing) {
+  // The paper's serving-side rule: a box already watching 2 streams cannot
+  // serve a third.
+  StreamSlots slots(2);
+  slots.acquire_unchecked(span(0, 1000));  // viewer's own playback
+  EXPECT_TRUE(slots.try_acquire(span(10, 310)));   // one serve fits
+  EXPECT_FALSE(slots.try_acquire(span(20, 320)));  // second serve refused
+}
+
+TEST(StreamSlots, ZeroLimitRefusesAll) {
+  StreamSlots slots(0);
+  EXPECT_FALSE(slots.try_acquire(span(0, 1)));
+}
+
+// ---------------------------------------------------------------- SetTopBox
+
+TEST(SetTopBox, HoldsContributionAndSlots) {
+  SetTopBox box(PeerId{7}, DataSize::gigabytes(10), 2);
+  EXPECT_EQ(box.id(), PeerId{7});
+  EXPECT_EQ(box.storage_contribution(), DataSize::gigabytes(10));
+  EXPECT_EQ(box.slots().limit(), 2);
+}
+
+}  // namespace
+}  // namespace vodcache::hfc

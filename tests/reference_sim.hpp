@@ -1,0 +1,356 @@
+// An independent, deliberately-naive re-implementation of the simulation
+// semantics (flat vectors and linear scans; no heaps, no ordered indexes,
+// no lazy maintenance).  Property tests replay random workloads through
+// both this and core::VodSystem and demand identical counters — catching
+// bugs in the production engine's clever data structures (lazy max-heaps,
+// ordered cached-set indexes, deferred re-ranking).
+//
+// Supports StrategyKind::{None, Lru, Lfu} with whole-program admission,
+// with and without busy-miss replication.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "hfc/topology.hpp"
+#include "trace/trace.hpp"
+#include "util/assert.hpp"
+
+namespace vodcache::test {
+
+struct ReferenceResult {
+  std::uint64_t hits = 0;
+  std::uint64_t cold_misses = 0;
+  std::uint64_t busy_misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t fills = 0;
+  double server_bits = 0.0;
+  double coax_bits = 0.0;
+};
+
+namespace detail {
+
+struct RefPeer {
+  std::int64_t used_bytes = 0;
+  std::vector<sim::SimTime> active_ends;
+
+  int active(sim::SimTime now) {
+    std::erase_if(active_ends, [now](sim::SimTime end) { return end <= now; });
+    return static_cast<int>(active_ends.size());
+  }
+};
+
+struct RefSegment {
+  std::uint32_t program;
+  std::uint32_t index;
+  std::uint32_t peer;
+  std::int64_t bytes;
+};
+
+struct RefNeighborhood {
+  std::vector<RefPeer> peers;
+  std::vector<RefSegment> segments;               // every stored replica
+  std::map<std::uint32_t, std::int64_t> committed;  // program -> full bytes
+  std::int64_t committed_total = 0;
+
+  // Popularity state.
+  struct Access {
+    sim::SimTime time;
+    std::uint32_t program;
+  };
+  std::vector<Access> log;                        // all accesses, in order
+  std::map<std::uint32_t, std::int64_t> last_seq;
+  std::map<std::uint32_t, std::int64_t> counts;   // LFU in-window counts
+  std::size_t window_begin = 0;                   // log index of window head
+
+  [[nodiscard]] std::int64_t capacity_bytes(std::int64_t per_peer) const {
+    return static_cast<std::int64_t>(peers.size()) * per_peer;
+  }
+};
+
+// Mirrors LfuStrategy::expire: drop log entries strictly older than
+// t - history from the counts (only ever called on access, like production).
+inline void ref_expire(RefNeighborhood& n, sim::SimTime t,
+                       sim::SimTime history) {
+  const sim::SimTime cutoff = t - history;
+  while (n.window_begin < n.log.size() &&
+         n.log[n.window_begin].time < cutoff) {
+    auto& count = n.counts[n.log[n.window_begin].program];
+    --count;
+    if (count == 0) n.counts.erase(n.log[n.window_begin].program);
+    ++n.window_begin;
+  }
+}
+
+// Retention score, mirroring LruStrategy / LfuStrategy.
+inline std::pair<std::int64_t, std::int64_t> ref_score(
+    const RefNeighborhood& n, std::uint32_t program,
+    core::StrategyKind kind) {
+  const auto seq_it = n.last_seq.find(program);
+  const std::int64_t seq = seq_it == n.last_seq.end() ? 0 : seq_it->second;
+  if (kind == core::StrategyKind::Lru) return {seq, 0};
+  const auto count_it = n.counts.find(program);
+  return {count_it == n.counts.end() ? 0 : count_it->second, seq};
+}
+
+// Lowest-scoring committed program (ties impossible: seqs are unique).
+inline std::optional<std::uint32_t> ref_victim(const RefNeighborhood& n,
+                                               core::StrategyKind kind) {
+  std::optional<std::uint32_t> victim;
+  std::pair<std::int64_t, std::int64_t> best{0, 0};
+  for (const auto& [program, bytes] : n.committed) {
+    const auto score = ref_score(n, program, kind);
+    if (!victim || score < best) {
+      victim = program;
+      best = score;
+    }
+  }
+  return victim;
+}
+
+inline void ref_evict(RefNeighborhood& n, std::uint32_t program) {
+  for (const auto& segment : n.segments) {
+    if (segment.program == program) {
+      n.peers[segment.peer].used_bytes -= segment.bytes;
+    }
+  }
+  std::erase_if(n.segments, [program](const RefSegment& s) {
+    return s.program == program;
+  });
+  n.committed_total -= n.committed.at(program);
+  n.committed.erase(program);
+}
+
+// Peer with most free bytes not already holding this segment
+// (tie -> larger index, matching the production heap's pair ordering).
+inline std::optional<std::uint32_t> ref_best_peer(
+    const RefNeighborhood& n, std::int64_t per_peer, std::int64_t bytes,
+    std::uint32_t program, std::uint32_t index) {
+  std::optional<std::uint32_t> best;
+  std::int64_t best_free = -1;
+  for (std::uint32_t p = 0; p < n.peers.size(); ++p) {
+    bool holds = false;
+    for (const auto& segment : n.segments) {
+      if (segment.program == program && segment.index == index &&
+          segment.peer == p) {
+        holds = true;
+        break;
+      }
+    }
+    if (holds) continue;
+    const std::int64_t free = per_peer - n.peers[p].used_bytes;
+    if (free >= bytes && free >= best_free) {  // >=: larger index wins ties
+      best = p;
+      best_free = free;
+    }
+  }
+  return best;
+}
+
+}  // namespace detail
+
+inline ReferenceResult reference_simulate(const trace::Trace& trace,
+                                          const core::SystemConfig& config) {
+  VODCACHE_EXPECTS(config.admission == core::CacheAdmission::WholeProgram);
+  VODCACHE_EXPECTS(config.strategy.kind == core::StrategyKind::None ||
+                   config.strategy.kind == core::StrategyKind::Lru ||
+                   config.strategy.kind == core::StrategyKind::Lfu);
+  using namespace detail;
+
+  const auto topology =
+      hfc::Topology::build(trace.user_count(), config.neighborhood_size);
+  const auto per_peer = static_cast<std::int64_t>(
+      config.per_peer_storage.byte_count());
+  const auto kind = config.strategy.kind;
+  const auto history =
+      kind == core::StrategyKind::Lfu ? config.strategy.lfu_history
+                                      : sim::SimTime{};
+
+  std::vector<RefNeighborhood> neighborhoods(topology.neighborhood_count());
+  for (std::uint32_t i = 0; i < neighborhoods.size(); ++i) {
+    neighborhoods[i].peers.resize(topology.size_of(NeighborhoodId{i}));
+  }
+
+  ReferenceResult result;
+  std::int64_t next_seq = 0;
+
+  struct PendingSegment {
+    sim::SimTime at;
+    std::size_t session;
+    std::uint64_t order;
+  };
+  struct Session {
+    std::uint32_t neighborhood;
+    std::uint32_t viewer;
+    std::uint32_t program;
+    sim::SimTime start;
+    sim::SimTime end;
+    bool admit;
+  };
+  std::vector<Session> sessions;
+  // (time, order)-keyed FIFO queue of segment boundaries.
+  std::multimap<std::pair<std::int64_t, std::uint64_t>, std::size_t> queue;
+  std::uint64_t order = 0;
+
+  const double rate_bps = config.stream_rate.bps();
+  const std::int64_t segment_ms = config.segment_duration.millis_count();
+  const std::int64_t horizon_ms = trace.horizon().millis_count();
+
+  auto account = [&](double& sink, sim::SimTime a, sim::SimTime b) {
+    // Horizon-clipped, like the production meters.
+    const auto lo = std::max<std::int64_t>(a.millis_count(), 0);
+    const auto hi = std::min(b.millis_count(), horizon_ms);
+    if (hi > lo) sink += rate_bps * static_cast<double>(hi - lo) / 1000.0;
+  };
+
+  auto play_segment = [&](std::size_t slot, sim::SimTime at) {
+    const Session& session = sessions[slot];
+    auto& n = neighborhoods[session.neighborhood];
+
+    const std::int64_t watched = (at - session.start).millis_count();
+    const auto seg = static_cast<std::uint32_t>(watched / segment_ms);
+    const auto boundary =
+        session.start + sim::SimTime::millis((seg + 1) * segment_ms);
+    const auto tx_end = std::min(boundary, session.end);
+    const auto nominal_end = std::min(
+        boundary, session.start + trace.catalog().length(
+                                      ProgramId{session.program}));
+    const bool full_slice = tx_end >= nominal_end;
+
+    account(result.coax_bits, at, tx_end);
+
+    // Try every replica in insertion order.
+    bool served_by_peer = false;
+    bool was_cached = false;
+    for (auto& segment : n.segments) {
+      if (segment.program != session.program || segment.index != seg) continue;
+      was_cached = true;
+      auto& peer = n.peers[segment.peer];
+      if (peer.active(at) < config.peer_stream_limit) {
+        peer.active_ends.push_back(tx_end);
+        served_by_peer = true;
+        break;
+      }
+    }
+
+    if (served_by_peer) {
+      ++result.hits;
+    } else {
+      (was_cached ? result.busy_misses : result.cold_misses) += 1;
+      account(result.server_bits, at, tx_end);
+      if (session.admit && full_slice &&
+          (!was_cached || config.replicate_on_busy) &&
+          n.committed.contains(session.program)) {
+        const auto bytes = static_cast<std::int64_t>(
+            rate_bps * (tx_end - at).seconds_f() / 8.0 + 0.5);
+        // Evict until placement is possible.
+        for (;;) {
+          if (ref_best_peer(n, per_peer, bytes, session.program, seg)) break;
+          const auto victim = ref_victim(n, kind);
+          if (!victim || *victim == session.program) break;
+          if (ref_score(n, session.program, kind) <=
+              ref_score(n, *victim, kind)) {
+            break;
+          }
+          ref_evict(n, *victim);
+          ++result.evictions;
+        }
+        if (const auto peer =
+                ref_best_peer(n, per_peer, bytes, session.program, seg)) {
+          n.peers[*peer].used_bytes += bytes;
+          n.segments.push_back({session.program, seg, *peer, bytes});
+          ++result.fills;
+        }
+      }
+    }
+
+    if (tx_end < session.end) {
+      queue.emplace(std::pair{tx_end.millis_count(), order++}, slot);
+    }
+  };
+
+  auto start_session = [&](const trace::SessionRecord& record) {
+    const auto nb = topology.neighborhood_of(record.user).value();
+    auto& n = neighborhoods[nb];
+    const auto program = record.program.value();
+
+    // Popularity signal (mirrors record_access).
+    if (kind != core::StrategyKind::None) {
+      ref_expire(n, record.start, history);
+      n.last_seq[program] = ++next_seq;
+      if (kind == core::StrategyKind::Lfu &&
+          history > sim::SimTime{}) {
+        n.log.push_back({record.start, program});
+        ++n.counts[program];
+      } else if (kind == core::StrategyKind::Lru) {
+        n.log.push_back({record.start, program});  // unused, keeps shape
+      }
+    }
+
+    // Whole-program admission.
+    bool admit = false;
+    if (kind != core::StrategyKind::None) {
+      if (n.committed.contains(program)) {
+        admit = true;
+      } else {
+        const auto full = static_cast<std::int64_t>(
+            trace.catalog()
+                .program_size(record.program, config.stream_rate)
+                .byte_count());
+        admit = true;
+        while (n.committed_total + full > n.capacity_bytes(per_peer)) {
+          const auto victim = ref_victim(n, kind);
+          if (!victim || *victim == program ||
+              ref_score(n, program, kind) <= ref_score(n, *victim, kind)) {
+            admit = false;
+            break;
+          }
+          ref_evict(n, *victim);
+          ++result.evictions;
+        }
+        if (admit) {
+          n.committed.emplace(program, full);
+          n.committed_total += full;
+        }
+      }
+    }
+
+    // Viewer playback slot (never blocked).
+    const auto viewer = topology.peer_of(record.user).value();
+    const auto end = record.start + record.duration;
+    n.peers[viewer].active(record.start);
+    n.peers[viewer].active_ends.push_back(end);
+
+    sessions.push_back(
+        {nb, viewer, program, record.start, end, admit});
+    play_segment(sessions.size() - 1, record.start);
+  };
+
+  // Merge the sorted trace with the boundary queue, boundaries first on ties
+  // (mirrors VodSystem::run).
+  std::size_t next = 0;
+  const auto& records = trace.sessions();
+  while (next < records.size() || !queue.empty()) {
+    const bool take_boundary =
+        !queue.empty() &&
+        (next >= records.size() ||
+         queue.begin()->first.first <= records[next].start.millis_count());
+    if (take_boundary) {
+      const auto it = queue.begin();
+      const auto slot = it->second;
+      const auto at = sim::SimTime::millis(it->first.first);
+      queue.erase(it);
+      play_segment(slot, at);
+    } else {
+      start_session(records[next]);
+      ++next;
+    }
+  }
+  return result;
+}
+
+}  // namespace vodcache::test

@@ -1,0 +1,94 @@
+// Cross-validation: core::VodSystem vs the independent naive reference
+// implementation, over randomized workloads and configurations.  Counters
+// and byte totals must match exactly — any divergence indicates a bug in
+// one of the production engine's data structures or in the reference's
+// reading of the semantics; either way, a bug.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/vod_system.hpp"
+#include "reference_sim.hpp"
+#include "test_support.hpp"
+#include "trace/generator.hpp"
+
+namespace vodcache::core {
+namespace {
+
+struct Case {
+  std::uint64_t seed;
+  StrategyKind kind;
+  std::uint32_t neighborhood;
+  std::int64_t per_peer_mb;
+  bool replicate;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  return std::string(to_string(info.param.kind)) + "_s" +
+         std::to_string(info.param.seed) + "_n" +
+         std::to_string(info.param.neighborhood) + "_mb" +
+         std::to_string(info.param.per_peer_mb) +
+         (info.param.replicate ? "_rep" : "");
+}
+
+class CrossValidation : public ::testing::TestWithParam<Case> {};
+
+TEST_P(CrossValidation, MatchesReferenceExactly) {
+  const auto& param = GetParam();
+
+  auto workload = test::small_workload(3, param.seed);
+  workload.user_count = 300;
+  workload.program_count = 80;
+  workload.sessions_per_user_per_day = 6.0;
+  const auto trace = trace::generate_power_info_like(workload);
+
+  SystemConfig config;
+  config.neighborhood_size = param.neighborhood;
+  config.per_peer_storage = DataSize::megabytes(param.per_peer_mb);
+  config.strategy.kind = param.kind;
+  config.strategy.lfu_history = sim::SimTime::hours(24);
+  config.replicate_on_busy = param.replicate;
+  config.warmup = sim::SimTime{};
+
+  VodSystem system(trace, config);
+  const auto report = system.run();
+  const auto reference = test::reference_simulate(trace, config);
+
+  EXPECT_EQ(report.hits, reference.hits);
+  EXPECT_EQ(report.cold_misses, reference.cold_misses);
+  EXPECT_EQ(report.busy_misses, reference.busy_misses);
+  EXPECT_EQ(report.evictions, reference.evictions);
+  EXPECT_EQ(report.fills, reference.fills);
+  EXPECT_NEAR(report.server_bits, reference.server_bits,
+              1.0 + report.server_bits * 1e-12);
+  EXPECT_NEAR(report.coax_bits, reference.coax_bits,
+              1.0 + report.coax_bits * 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomWorkloads, CrossValidation,
+    ::testing::Values(
+        // Strategy sweep at a mid-size contended configuration.
+        Case{1, StrategyKind::None, 60, 500, false},
+        Case{1, StrategyKind::Lru, 60, 500, false},
+        Case{1, StrategyKind::Lfu, 60, 500, false},
+        // Seed sweep for LFU (the most intricate bookkeeping).
+        Case{2, StrategyKind::Lfu, 60, 500, false},
+        Case{3, StrategyKind::Lfu, 60, 500, false},
+        Case{4, StrategyKind::Lfu, 60, 500, false},
+        // Tiny neighborhoods: heavy stream contention, busy misses.
+        Case{5, StrategyKind::Lru, 10, 800, false},
+        Case{5, StrategyKind::Lfu, 10, 800, false},
+        // Tight storage: constant eviction churn + fragmentation.
+        Case{6, StrategyKind::Lru, 40, 250, false},
+        Case{6, StrategyKind::Lfu, 40, 250, false},
+        // Replication extension on.
+        Case{7, StrategyKind::Lru, 30, 600, true},
+        Case{7, StrategyKind::Lfu, 30, 600, true},
+        // Larger caches: little eviction, lots of hits.
+        Case{8, StrategyKind::Lru, 100, 4000, false},
+        Case{8, StrategyKind::Lfu, 100, 4000, true}),
+    case_name);
+
+}  // namespace
+}  // namespace vodcache::core

@@ -1,0 +1,96 @@
+// Tests for the JSON report writer: structural validity and faithful
+// round-tripping of the numbers (validated against a real simulation run).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report_json.hpp"
+#include "core/vod_system.hpp"
+#include "test_support.hpp"
+#include "trace/generator.hpp"
+
+namespace vodcache::core {
+namespace {
+
+SimulationReport run_small() {
+  const auto trace =
+      trace::generate_power_info_like(test::small_workload(2));
+  SystemConfig config;
+  config.neighborhood_size = 50;
+  config.per_peer_storage = DataSize::megabytes(500);
+  config.strategy.kind = StrategyKind::Lfu;
+  config.warmup = sim::SimTime{};
+  VodSystem system(trace, config);
+  return system.run();
+}
+
+// Minimal structural JSON check: balanced braces/brackets outside strings,
+// no trailing commas before closers.
+void expect_structurally_valid(const std::string& json) {
+  int depth = 0;
+  bool in_string = false;
+  char prev = 0;
+  for (const char c : json) {
+    if (in_string) {
+      if (c == '"' && prev != '\\') in_string = false;
+    } else {
+      if (c == '"') in_string = true;
+      if (c == '{' || c == '[') ++depth;
+      if (c == '}' || c == ']') {
+        EXPECT_NE(prev, ',') << "trailing comma before closer";
+        --depth;
+        EXPECT_GE(depth, 0);
+      }
+    }
+    prev = c;
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(ReportJson, StructurallyValid) {
+  const auto report = run_small();
+  expect_structurally_valid(to_json(report));
+  expect_structurally_valid(to_json(report, /*include_neighborhoods=*/false));
+}
+
+TEST(ReportJson, ContainsHeadlineNumbers) {
+  const auto report = run_small();
+  const auto json = to_json(report);
+  EXPECT_NE(json.find("\"strategy\":\"LFU\""), std::string::npos);
+  EXPECT_NE(json.find("\"sessions\":" + std::to_string(report.sessions)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"hits\":" + std::to_string(report.hits)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"server_peak\""), std::string::npos);
+  EXPECT_NE(json.find("\"server_hourly_bps\""), std::string::npos);
+}
+
+TEST(ReportJson, NeighborhoodsToggle) {
+  const auto report = run_small();
+  const auto with = to_json(report, true);
+  const auto without = to_json(report, false);
+  EXPECT_NE(with.find("\"neighborhoods\""), std::string::npos);
+  EXPECT_EQ(without.find("\"neighborhoods\""), std::string::npos);
+  EXPECT_LT(without.size(), with.size());
+}
+
+TEST(ReportJson, HourlyArrayHas24Entries) {
+  const auto report = run_small();
+  const auto json = to_json(report, false);
+  const auto begin = json.find("\"server_hourly_bps\":[");
+  ASSERT_NE(begin, std::string::npos);
+  const auto end = json.find(']', begin);
+  const auto array = json.substr(begin, end - begin);
+  EXPECT_EQ(std::count(array.begin(), array.end(), ','), 23);
+}
+
+TEST(ReportJson, StreamAndStringAgree) {
+  const auto report = run_small();
+  std::ostringstream out;
+  write_json(report, out);
+  EXPECT_EQ(out.str(), to_json(report));
+}
+
+}  // namespace
+}  // namespace vodcache::core

@@ -1,0 +1,92 @@
+// Unit tests for SimulationReport derived metrics and for trace CSV
+// backward compatibility.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.hpp"
+#include "trace/csv_io.hpp"
+
+namespace vodcache {
+namespace {
+
+core::SimulationReport sample_report() {
+  core::SimulationReport report;
+  report.hits = 60;
+  report.cold_misses = 30;
+  report.busy_misses = 10;
+  report.peer_bits = 6e9;
+  report.server_bits = 4e9;
+  report.coax_bits = 1e10;
+  report.server_peak.mean = DataRate::gigabits_per_second(2.0);
+  report.strategy = core::StrategyKind::Lfu;
+  return report;
+}
+
+TEST(Report, HitRatioCountsAllMissKinds) {
+  const auto report = sample_report();
+  EXPECT_DOUBLE_EQ(report.hit_ratio(), 0.6);
+}
+
+TEST(Report, HitRatioEmptyIsZero) {
+  const core::SimulationReport report;
+  EXPECT_DOUBLE_EQ(report.hit_ratio(), 0.0);
+}
+
+TEST(Report, ByteHitRatio) {
+  const auto report = sample_report();
+  EXPECT_DOUBLE_EQ(report.byte_hit_ratio(), 0.6);
+}
+
+TEST(Report, ReductionVsBaseline) {
+  const auto report = sample_report();
+  EXPECT_DOUBLE_EQ(
+      report.reduction_vs(DataRate::gigabits_per_second(10.0)), 0.8);
+  EXPECT_DOUBLE_EQ(report.reduction_vs(DataRate{}), 0.0);
+}
+
+TEST(Report, ToStringMentionsKeyNumbers) {
+  const auto report = sample_report();
+  const auto text = report.to_string();
+  EXPECT_NE(text.find("LFU"), std::string::npos);
+  EXPECT_NE(text.find("hits=60"), std::string::npos);
+  EXPECT_NE(text.find("peak server rate"), std::string::npos);
+}
+
+TEST(StrategyKind, ToStringCoversAll) {
+  EXPECT_STREQ(core::to_string(core::StrategyKind::None), "None");
+  EXPECT_STREQ(core::to_string(core::StrategyKind::Lru), "LRU");
+  EXPECT_STREQ(core::to_string(core::StrategyKind::Lfu), "LFU");
+  EXPECT_STREQ(core::to_string(core::StrategyKind::Oracle), "Oracle");
+  EXPECT_STREQ(core::to_string(core::StrategyKind::GlobalLfu), "GlobalLFU");
+}
+
+TEST(CacheAdmission, ToStringCoversAll) {
+  EXPECT_STREQ(core::to_string(core::CacheAdmission::WholeProgram),
+               "whole-program");
+  EXPECT_STREQ(core::to_string(core::CacheAdmission::Segment), "segment");
+}
+
+// Traces converted from external sources may predate the fresh_weight
+// column; 5-field program lines must still load (fresh_weight = 0).
+TEST(CsvCompat, FiveFieldProgramLinesLoad) {
+  std::stringstream buffer(
+      "meta,1,86400000\n"
+      "program,0,600000,0,1.5\n"
+      "session,1000,0,0,60000\n");
+  const auto trace = trace::read_csv(buffer);
+  ASSERT_EQ(trace.catalog().size(), 1u);
+  EXPECT_DOUBLE_EQ(trace.catalog().programs()[0].base_weight, 1.5);
+  EXPECT_DOUBLE_EQ(trace.catalog().programs()[0].fresh_weight, 0.0);
+}
+
+TEST(CsvCompat, SixFieldProgramLinesLoad) {
+  std::stringstream buffer(
+      "meta,1,86400000\n"
+      "program,0,600000,0,1.5,0.25\n");
+  const auto trace = trace::read_csv(buffer);
+  EXPECT_DOUBLE_EQ(trace.catalog().programs()[0].fresh_weight, 0.25);
+}
+
+}  // namespace
+}  // namespace vodcache

@@ -1,0 +1,364 @@
+// Unit tests for src/sim: simulated time, hour windows, the stable event
+// queue, the engine, bandwidth meters, and peak statistics.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/peak_stats.hpp"
+#include "sim/rate_meter.hpp"
+#include "sim/time.hpp"
+
+namespace vodcache::sim {
+namespace {
+
+// ----------------------------------------------------------------- SimTime
+
+TEST(SimTime, UnitConstructors) {
+  EXPECT_EQ(SimTime::seconds(1).millis_count(), 1000);
+  EXPECT_EQ(SimTime::minutes(5).millis_count(), 300'000);
+  EXPECT_EQ(SimTime::hours(2).millis_count(), 7'200'000);
+  EXPECT_EQ(SimTime::days(1).millis_count(), 86'400'000);
+}
+
+TEST(SimTime, FromSecondsRounds) {
+  EXPECT_EQ(SimTime::from_seconds_f(1.0004).millis_count(), 1000);
+  EXPECT_EQ(SimTime::from_seconds_f(1.0006).millis_count(), 1001);
+  EXPECT_EQ(SimTime::from_seconds_f(-2.0).millis_count(), -2000);
+}
+
+TEST(SimTime, FloatViews) {
+  const auto t = SimTime::hours(36);
+  EXPECT_DOUBLE_EQ(t.seconds_f(), 129600.0);
+  EXPECT_DOUBLE_EQ(t.minutes_f(), 2160.0);
+  EXPECT_DOUBLE_EQ(t.hours_f(), 36.0);
+  EXPECT_DOUBLE_EQ(t.days_f(), 1.5);
+}
+
+TEST(SimTime, CalendarHelpers) {
+  const auto t = SimTime::days(3) + SimTime::hours(19) + SimTime::minutes(30);
+  EXPECT_EQ(t.day_index(), 3);
+  EXPECT_EQ(t.hour_of_day(), 19);
+  EXPECT_EQ(t.millis_of_day(),
+            (SimTime::hours(19) + SimTime::minutes(30)).millis_count());
+}
+
+TEST(SimTime, Arithmetic) {
+  EXPECT_EQ(SimTime::hours(1) + SimTime::minutes(30), SimTime::minutes(90));
+  EXPECT_EQ(SimTime::hours(1) - SimTime::minutes(15), SimTime::minutes(45));
+  EXPECT_LT(SimTime::seconds(59), SimTime::minutes(1));
+}
+
+TEST(Interval, DurationAndValidity) {
+  const Interval i{SimTime::seconds(10), SimTime::seconds(25)};
+  EXPECT_DOUBLE_EQ(i.duration_seconds(), 15.0);
+  EXPECT_TRUE(i.valid());
+  const Interval bad{SimTime::seconds(25), SimTime::seconds(10)};
+  EXPECT_FALSE(bad.valid());
+}
+
+// -------------------------------------------------------------- HourWindow
+
+TEST(HourWindow, ContainsSimpleWindow) {
+  const HourWindow peak{19, 22};  // the paper's evening window
+  EXPECT_FALSE(peak.contains(SimTime::hours(18)));
+  EXPECT_TRUE(peak.contains(SimTime::hours(19)));
+  EXPECT_TRUE(peak.contains(SimTime::hours(21) + SimTime::minutes(59)));
+  EXPECT_FALSE(peak.contains(SimTime::hours(22)));
+}
+
+TEST(HourWindow, WorksAcrossDays) {
+  const HourWindow peak{19, 22};
+  EXPECT_TRUE(peak.contains(SimTime::days(5) + SimTime::hours(20)));
+  EXPECT_FALSE(peak.contains(SimTime::days(5) + SimTime::hours(2)));
+}
+
+TEST(HourWindow, WrappingWindow) {
+  const HourWindow late{22, 2};
+  EXPECT_TRUE(late.contains(SimTime::hours(23)));
+  EXPECT_TRUE(late.contains(SimTime::hours(1)));
+  EXPECT_FALSE(late.contains(SimTime::hours(12)));
+}
+
+TEST(HourWindow, FullDayWindow) {
+  const HourWindow all{0, 24};
+  for (int h = 0; h < 24; ++h) EXPECT_TRUE(all.contains(SimTime::hours(h)));
+}
+
+// -------------------------------------------------------------- EventQueue
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue<int> q;
+  q.push(SimTime::seconds(30), 3);
+  q.push(SimTime::seconds(10), 1);
+  q.push(SimTime::seconds(20), 2);
+  EXPECT_EQ(q.pop().payload, 1);
+  EXPECT_EQ(q.pop().payload, 2);
+  EXPECT_EQ(q.pop().payload, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, StableForEqualTimes) {
+  EventQueue<int> q;
+  for (int i = 0; i < 50; ++i) q.push(SimTime::seconds(5), i);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(q.pop().payload, i);
+}
+
+TEST(EventQueue, InterleavedPushPop) {
+  EventQueue<int> q;
+  q.push(SimTime::seconds(10), 10);
+  q.push(SimTime::seconds(5), 5);
+  EXPECT_EQ(q.pop().payload, 5);
+  q.push(SimTime::seconds(7), 7);
+  q.push(SimTime::seconds(12), 12);
+  EXPECT_EQ(q.pop().payload, 7);
+  EXPECT_EQ(q.pop().payload, 10);
+  EXPECT_EQ(q.pop().payload, 12);
+}
+
+TEST(EventQueue, SizeAndClear) {
+  EventQueue<int> q;
+  q.push(SimTime::seconds(1), 1);
+  q.push(SimTime::seconds(2), 2);
+  EXPECT_EQ(q.size(), 2u);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, LargeRandomOrderIsSorted) {
+  EventQueue<int> q;
+  std::uint64_t state = 12345;
+  for (int i = 0; i < 5000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    q.push(SimTime::millis(static_cast<std::int64_t>(state % 100000)), i);
+  }
+  SimTime last;
+  while (!q.empty()) {
+    const auto e = q.pop();
+    EXPECT_GE(e.time, last);
+    last = e.time;
+  }
+}
+
+// ------------------------------------------------------------------ Engine
+
+TEST(Engine, RunsHandlersInOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(SimTime::seconds(3), [&](SimTime) { order.push_back(3); });
+  engine.schedule_at(SimTime::seconds(1), [&](SimTime) { order.push_back(1); });
+  engine.schedule_at(SimTime::seconds(2), [&](SimTime) { order.push_back(2); });
+  EXPECT_EQ(engine.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, ClockAdvancesToEventTime) {
+  Engine engine;
+  SimTime seen;
+  engine.schedule_at(SimTime::minutes(90), [&](SimTime now) { seen = now; });
+  engine.run();
+  EXPECT_EQ(seen, SimTime::minutes(90));
+  EXPECT_EQ(engine.now(), SimTime::minutes(90));
+}
+
+TEST(Engine, HandlersCanScheduleMoreEvents) {
+  Engine engine;
+  int fired = 0;
+  std::function<void(SimTime)> chain = [&](SimTime now) {
+    ++fired;
+    if (fired < 5) {
+      engine.schedule_at(now + SimTime::seconds(10), chain);
+    }
+  };
+  engine.schedule_at(SimTime::seconds(0), chain);
+  engine.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(engine.now(), SimTime::seconds(40));
+}
+
+TEST(Engine, ScheduleAfterUsesCurrentClock) {
+  Engine engine;
+  SimTime second_fire;
+  engine.schedule_at(SimTime::seconds(100), [&](SimTime) {
+    engine.schedule_after(SimTime::seconds(50),
+                          [&](SimTime now) { second_fire = now; });
+  });
+  engine.run();
+  EXPECT_EQ(second_fire, SimTime::seconds(150));
+}
+
+TEST(Engine, RunUntilLeavesLaterEventsQueued) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(SimTime::seconds(10), [&](SimTime) { ++fired; });
+  engine.schedule_at(SimTime::seconds(20), [&](SimTime) { ++fired; });
+  engine.schedule_at(SimTime::seconds(30), [&](SimTime) { ++fired; });
+  EXPECT_EQ(engine.run_until(SimTime::seconds(20)), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(engine.pending(), 1u);
+  EXPECT_EQ(engine.now(), SimTime::seconds(20));
+  engine.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, ProcessedCounterAccumulates) {
+  Engine engine;
+  for (int i = 0; i < 7; ++i) {
+    engine.schedule_at(SimTime::seconds(i), [](SimTime) {});
+  }
+  engine.run();
+  EXPECT_EQ(engine.processed(), 7u);
+}
+
+// --------------------------------------------------------------- RateMeter
+
+TEST(RateMeter, SingleBucketAccounting) {
+  RateMeter meter(SimTime::hours(1), SimTime::minutes(15));
+  meter.add({SimTime::minutes(0), SimTime::minutes(5)},
+            DataRate::megabits_per_second(8.0));
+  EXPECT_DOUBLE_EQ(meter.bucket_bits(0), 8e6 * 300);
+  EXPECT_DOUBLE_EQ(meter.bucket_bits(1), 0.0);
+}
+
+TEST(RateMeter, SplitsAcrossBuckets) {
+  RateMeter meter(SimTime::hours(1), SimTime::minutes(15));
+  // 10 minutes starting at minute 10: 5 minutes in each of buckets 0 and 1.
+  meter.add({SimTime::minutes(10), SimTime::minutes(20)},
+            DataRate::megabits_per_second(8.0));
+  EXPECT_DOUBLE_EQ(meter.bucket_bits(0), 8e6 * 300);
+  EXPECT_DOUBLE_EQ(meter.bucket_bits(1), 8e6 * 300);
+}
+
+TEST(RateMeter, ConservesTotalBits) {
+  RateMeter meter(SimTime::days(1), SimTime::minutes(15));
+  double expected = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const auto begin = SimTime::seconds(i * 337);
+    const auto end = begin + SimTime::seconds(123 + i);
+    meter.add({begin, end}, DataRate::megabits_per_second(8.06));
+    expected += 8.06e6 * (end - begin).seconds_f();
+  }
+  EXPECT_NEAR(meter.total_bits(), expected, 1.0);
+  EXPECT_DOUBLE_EQ(meter.clipped_bits(), 0.0);
+}
+
+TEST(RateMeter, ClipsOutsideHorizon) {
+  RateMeter meter(SimTime::hours(1), SimTime::minutes(15));
+  meter.add({SimTime::minutes(-10), SimTime::minutes(10)},
+            DataRate::megabits_per_second(6.0));
+  meter.add({SimTime::minutes(55), SimTime::minutes(70)},
+            DataRate::megabits_per_second(6.0));
+  // Only 10 + 5 minutes landed inside.
+  EXPECT_NEAR(meter.total_bits(), 6e6 * 15 * 60, 1.0);
+  EXPECT_NEAR(meter.clipped_bits(), 6e6 * 20 * 60, 1.0);
+}
+
+TEST(RateMeter, BucketRate) {
+  RateMeter meter(SimTime::hours(1), SimTime::minutes(15));
+  meter.add({SimTime::minutes(0), SimTime::minutes(15)},
+            DataRate::megabits_per_second(12.0));
+  EXPECT_DOUBLE_EQ(meter.bucket_rate(0).mbps(), 12.0);
+}
+
+TEST(RateMeter, HourlyProfileAveragesOverDays) {
+  RateMeter meter(SimTime::days(2), SimTime::minutes(15));
+  // 1 hour of 10 Mb/s at 19:00 on day 0 only -> hour 19 averages 5 Mb/s
+  // over the two days.
+  meter.add({SimTime::hours(19), SimTime::hours(20)},
+            DataRate::megabits_per_second(10.0));
+  const auto profile = meter.hourly_profile();
+  EXPECT_DOUBLE_EQ(profile[19].mbps(), 5.0);
+  EXPECT_DOUBLE_EQ(profile[18].mbps(), 0.0);
+}
+
+TEST(RateMeter, HourlyProfileFromExcludesWarmup) {
+  RateMeter meter(SimTime::days(2), SimTime::minutes(15));
+  meter.add({SimTime::hours(19), SimTime::hours(20)},
+            DataRate::megabits_per_second(10.0));
+  const auto profile = meter.hourly_profile(SimTime::days(1));
+  EXPECT_DOUBLE_EQ(profile[19].mbps(), 0.0);
+}
+
+TEST(RateMeter, WindowSamples) {
+  RateMeter meter(SimTime::days(1), SimTime::minutes(15));
+  meter.add({SimTime::hours(20), SimTime::hours(21)},
+            DataRate::megabits_per_second(4.0));
+  const auto samples = meter.window_samples_bps(HourWindow{19, 22});
+  ASSERT_EQ(samples.size(), 12u);  // 3 hours x 4 buckets
+  int nonzero = 0;
+  for (const double s : samples) nonzero += (s > 0.0);
+  EXPECT_EQ(nonzero, 4);
+}
+
+TEST(RateMeter, WindowSamplesFromFilter) {
+  RateMeter meter(SimTime::days(3), SimTime::minutes(15));
+  const auto all = meter.window_samples_bps(HourWindow{19, 22});
+  const auto later =
+      meter.window_samples_bps(HourWindow{19, 22}, SimTime::days(1));
+  EXPECT_EQ(all.size(), 36u);
+  EXPECT_EQ(later.size(), 24u);
+}
+
+TEST(RateMeter, MergeAddsBuckets) {
+  RateMeter a(SimTime::hours(1), SimTime::minutes(15));
+  RateMeter b(SimTime::hours(1), SimTime::minutes(15));
+  a.add({SimTime::minutes(0), SimTime::minutes(15)},
+        DataRate::megabits_per_second(1.0));
+  b.add({SimTime::minutes(0), SimTime::minutes(15)},
+        DataRate::megabits_per_second(2.0));
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.bucket_rate(0).mbps(), 3.0);
+}
+
+TEST(RateMeter, ZeroRateIsNoOp) {
+  RateMeter meter(SimTime::hours(1), SimTime::minutes(15));
+  meter.add({SimTime::minutes(0), SimTime::minutes(15)}, DataRate{});
+  EXPECT_DOUBLE_EQ(meter.total_bits(), 0.0);
+}
+
+// --------------------------------------------------------------- PeakStats
+
+TEST(PeakStats, EmptySamples) {
+  const auto stats = peak_stats(std::vector<double>{});
+  EXPECT_EQ(stats.sample_count, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean.bps(), 0.0);
+}
+
+TEST(PeakStats, ComputesQuantiles) {
+  std::vector<double> samples;
+  for (int i = 1; i <= 100; ++i) samples.push_back(i * 1e6);
+  const auto stats = peak_stats(samples);
+  EXPECT_EQ(stats.sample_count, 100u);
+  EXPECT_DOUBLE_EQ(stats.mean.mbps(), 50.5);
+  EXPECT_NEAR(stats.q05.mbps(), 5.95, 1e-6);
+  EXPECT_NEAR(stats.q95.mbps(), 95.05, 1e-6);
+  EXPECT_DOUBLE_EQ(stats.max.mbps(), 100.0);
+}
+
+TEST(PeakStats, FromMeterWindow) {
+  RateMeter meter(SimTime::days(1), SimTime::minutes(15));
+  meter.add({SimTime::hours(19), SimTime::hours(22)},
+            DataRate::gigabits_per_second(17.0));
+  const auto stats = peak_stats(meter, HourWindow{19, 22});
+  EXPECT_DOUBLE_EQ(stats.mean.gbps(), 17.0);
+  EXPECT_DOUBLE_EQ(stats.q95.gbps(), 17.0);
+}
+
+TEST(PeakStats, FromRespectsWarmup) {
+  RateMeter meter(SimTime::days(2), SimTime::minutes(15));
+  // Day 0 peak at 10 Gb/s, day 1 peak at 2 Gb/s.
+  meter.add({SimTime::hours(19), SimTime::hours(22)},
+            DataRate::gigabits_per_second(10.0));
+  meter.add({SimTime::days(1) + SimTime::hours(19),
+             SimTime::days(1) + SimTime::hours(22)},
+            DataRate::gigabits_per_second(2.0));
+  const auto all = peak_stats(meter, HourWindow{19, 22});
+  const auto steady = peak_stats(meter, HourWindow{19, 22}, SimTime::days(1));
+  EXPECT_DOUBLE_EQ(all.mean.gbps(), 6.0);
+  EXPECT_DOUBLE_EQ(steady.mean.gbps(), 2.0);
+}
+
+}  // namespace
+}  // namespace vodcache::sim

@@ -1,0 +1,62 @@
+// Shared builders for tests: tiny catalogs, hand-written traces, and small
+// generated workloads that keep test runtimes in milliseconds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/generator.hpp"
+#include "trace/trace.hpp"
+
+namespace vodcache::test {
+
+// A catalog of `n` programs, all `minutes` long, introduced at time 0 (so
+// any session time is valid), unit base weight.
+inline trace::Catalog uniform_catalog(std::uint32_t n, int minutes = 30) {
+  std::vector<trace::ProgramInfo> programs(n);
+  for (auto& p : programs) {
+    p.length = sim::SimTime::minutes(minutes);
+    p.introduced = sim::SimTime{};
+    p.base_weight = 1.0;
+  }
+  return trace::Catalog(std::move(programs));
+}
+
+struct SessionSpec {
+  std::int64_t start_seconds;
+  std::uint32_t user;
+  std::uint32_t program;
+  std::int64_t duration_seconds;
+};
+
+// Builds a trace from explicit sessions against `catalog`.
+inline trace::Trace make_trace(trace::Catalog catalog,
+                               const std::vector<SessionSpec>& specs,
+                               std::uint32_t user_count,
+                               std::int64_t horizon_days = 1) {
+  std::vector<trace::SessionRecord> sessions;
+  sessions.reserve(specs.size());
+  for (const auto& spec : specs) {
+    sessions.push_back({sim::SimTime::seconds(spec.start_seconds),
+                        UserId{spec.user}, ProgramId{spec.program},
+                        sim::SimTime::seconds(spec.duration_seconds)});
+  }
+  return trace::Trace(std::move(catalog), std::move(sessions), user_count,
+                      sim::SimTime::days(horizon_days));
+}
+
+// A small but statistically non-trivial generated workload: ~200 users, 60
+// programs, a few days.  Fast to generate (few ms) yet exercises the full
+// popularity/session-length machinery.
+inline trace::GeneratorConfig small_workload(std::int32_t days = 4,
+                                             std::uint64_t seed = 1234) {
+  trace::GeneratorConfig config;
+  config.days = days;
+  config.user_count = 200;
+  config.program_count = 60;
+  config.sessions_per_user_per_day = 4.0;
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace vodcache::test

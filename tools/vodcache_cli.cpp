@@ -1,0 +1,241 @@
+// vodcache — command-line HFC VoD deployment planner.
+//
+// Generates (or loads) a workload, deploys the cooperative cache, replays
+// the trace, and reports what the central servers, headend fiber feeds,
+// and neighborhood coax must sustain.
+//
+//   vodcache run   [options]        simulate and report
+//   vodcache gen   [options] FILE   write a synthetic trace as CSV
+//   vodcache demand [options]       no-cache demand profile only (fast)
+//
+// Common options:
+//   --days N              workload horizon in days            [21]
+//   --users N             subscriber count                    [41698]
+//   --programs N          catalog size                        [8278]
+//   --seed N              workload seed                       [20070625]
+//   --trace FILE          load trace CSV instead of generating
+// System options (run):
+//   --neighborhood N      subscribers per neighborhood        [1000]
+//   --per-peer-gb N       storage contribution per set-top    [10]
+//   --strategy S          none|lru|lfu|oracle|global          [lfu]
+//   --history-hours N     LFU/global history window           [72]
+//   --lag-minutes N       global popularity batching lag      [0]
+//   --segment-admission   charge only stored bytes (ablation)
+//   --replicate           replicate stream-saturated segments
+//   --warmup-days N       measurement warmup exclusion        [7]
+//   --fail T F            wipe fraction F of peers at hour T (repeatable)
+//   --json [FILE]         emit the full report as JSON
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/load_analysis.hpp"
+#include "analysis/table.hpp"
+#include "core/report_json.hpp"
+#include "core/vod_system.hpp"
+#include "trace/csv_io.hpp"
+#include "trace/generator.hpp"
+
+namespace {
+
+using namespace vodcache;
+
+struct CliOptions {
+  std::string command;
+  trace::GeneratorConfig workload;
+  core::SystemConfig system;
+  std::string trace_path;
+  std::string output_path;   // gen: trace CSV destination
+  std::string json_path;     // run: "-" = stdout
+  bool emit_json = false;
+};
+
+[[noreturn]] void usage(const char* message = nullptr) {
+  if (message != nullptr) std::cerr << "vodcache: " << message << "\n\n";
+  std::cerr <<
+      "usage: vodcache run|gen|demand [options]  (see source header or "
+      "README)\n";
+  std::exit(message == nullptr ? 0 : 2);
+}
+
+core::StrategyKind parse_strategy(const std::string& name) {
+  if (name == "none") return core::StrategyKind::None;
+  if (name == "lru") return core::StrategyKind::Lru;
+  if (name == "lfu") return core::StrategyKind::Lfu;
+  if (name == "oracle") return core::StrategyKind::Oracle;
+  if (name == "global") return core::StrategyKind::GlobalLfu;
+  usage("unknown strategy (use none|lru|lfu|oracle|global)");
+}
+
+CliOptions parse(int argc, char** argv) {
+  if (argc < 2) usage("missing command");
+  CliOptions options;
+  options.command = argv[1];
+  options.workload.days = 21;
+
+  auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage("missing value for option");
+    return argv[++i];
+  };
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--days") {
+      options.workload.days = std::atoi(need_value(i).c_str());
+    } else if (arg == "--users") {
+      options.workload.user_count =
+          static_cast<std::uint32_t>(std::atoi(need_value(i).c_str()));
+    } else if (arg == "--programs") {
+      options.workload.program_count =
+          static_cast<std::uint32_t>(std::atoi(need_value(i).c_str()));
+    } else if (arg == "--seed") {
+      options.workload.seed =
+          static_cast<std::uint64_t>(std::atoll(need_value(i).c_str()));
+    } else if (arg == "--trace") {
+      options.trace_path = need_value(i);
+    } else if (arg == "--neighborhood") {
+      options.system.neighborhood_size =
+          static_cast<std::uint32_t>(std::atoi(need_value(i).c_str()));
+    } else if (arg == "--per-peer-gb") {
+      options.system.per_peer_storage =
+          DataSize::gigabytes(std::atoll(need_value(i).c_str()));
+    } else if (arg == "--strategy") {
+      options.system.strategy.kind = parse_strategy(need_value(i));
+    } else if (arg == "--history-hours") {
+      options.system.strategy.lfu_history =
+          sim::SimTime::hours(std::atoll(need_value(i).c_str()));
+    } else if (arg == "--lag-minutes") {
+      options.system.strategy.global_lag =
+          sim::SimTime::minutes(std::atoll(need_value(i).c_str()));
+    } else if (arg == "--segment-admission") {
+      options.system.admission = core::CacheAdmission::Segment;
+    } else if (arg == "--replicate") {
+      options.system.replicate_on_busy = true;
+    } else if (arg == "--warmup-days") {
+      options.system.warmup =
+          sim::SimTime::days(std::atoll(need_value(i).c_str()));
+    } else if (arg == "--fail") {
+      core::SystemConfig::PeerFailure failure;
+      failure.time = sim::SimTime::hours(std::atoll(need_value(i).c_str()));
+      failure.fraction = std::atof(need_value(i).c_str());
+      options.system.peer_failures.push_back(failure);
+    } else if (arg == "--json") {
+      options.emit_json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        options.json_path = argv[++i];
+      } else {
+        options.json_path = "-";
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+    } else if (options.command == "gen" && options.output_path.empty() &&
+               arg[0] != '-') {
+      options.output_path = arg;
+    } else {
+      usage(("unknown option: " + arg).c_str());
+    }
+  }
+  return options;
+}
+
+trace::Trace obtain_trace(const CliOptions& options) {
+  if (!options.trace_path.empty()) {
+    std::cerr << "loading trace " << options.trace_path << "...\n";
+    return trace::read_csv_file(options.trace_path);
+  }
+  std::cerr << "generating " << options.workload.days << "-day workload ("
+            << options.workload.user_count << " users, "
+            << options.workload.program_count << " programs)...\n";
+  return trace::generate_power_info_like(options.workload);
+}
+
+int cmd_gen(const CliOptions& options) {
+  if (options.output_path.empty()) usage("gen needs an output file");
+  const auto trace = obtain_trace(options);
+  trace::write_csv_file(trace, options.output_path);
+  std::cerr << "wrote " << trace.session_count() << " sessions to "
+            << options.output_path << '\n';
+  return 0;
+}
+
+int cmd_demand(const CliOptions& options) {
+  const auto trace = obtain_trace(options);
+  const auto profile = analysis::demand_hourly_profile(
+      trace, options.system.stream_rate);
+  analysis::Table table({"hour", "Gb/s"});
+  for (int h = 0; h < 24; ++h) {
+    table.add_row({std::to_string(h),
+                   analysis::Table::num(profile[h].gbps(), 2)});
+  }
+  table.print(std::cout);
+  const auto peak =
+      analysis::demand_peak(trace, options.system.stream_rate,
+                            options.system.peak_window, options.system.warmup);
+  std::cout << "peak-window demand: " << peak.mean.gbps() << " Gb/s\n";
+  return 0;
+}
+
+int cmd_run(const CliOptions& options) {
+  const auto trace = obtain_trace(options);
+  const auto demand =
+      analysis::demand_peak(trace, options.system.stream_rate,
+                            options.system.peak_window, options.system.warmup);
+
+  std::cerr << "simulating " << core::to_string(options.system.strategy.kind)
+            << " / " << options.system.neighborhood_size << " peers x "
+            << options.system.per_peer_storage.as_gigabytes() << " GB ("
+            << core::to_string(options.system.admission) << " admission)"
+            << "...\n";
+  core::VodSystem system(trace, options.system);
+  const auto report = system.run();
+
+  std::cout << report.to_string();
+  std::cout << "no-cache demand:  " << demand.mean.gbps() << " Gb/s\n"
+            << "reduction:        "
+            << analysis::Table::num(100.0 * report.reduction_vs(demand.mean),
+                                    1)
+            << "%\n";
+
+  // Headend fiber provisioning summary (max over neighborhoods).
+  double fiber_q95 = 0.0;
+  for (const auto& n : report.neighborhoods) {
+    fiber_q95 = std::max(fiber_q95, n.fiber_peak.q95.mbps());
+  }
+  std::cout << "worst headend fiber feed (p95): "
+            << analysis::Table::num(fiber_q95, 0) << " Mb/s\n";
+
+  if (options.emit_json) {
+    if (options.json_path == "-") {
+      core::write_json(report, std::cout);
+      std::cout << '\n';
+    } else {
+      std::ofstream out(options.json_path);
+      if (!out) {
+        std::cerr << "cannot write " << options.json_path << '\n';
+        return 1;
+      }
+      core::write_json(report, out);
+      std::cerr << "wrote JSON report to " << options.json_path << '\n';
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = parse(argc, argv);
+  try {
+    if (options.command == "run") return cmd_run(options);
+    if (options.command == "gen") return cmd_gen(options);
+    if (options.command == "demand") return cmd_demand(options);
+  } catch (const std::exception& error) {
+    std::cerr << "vodcache: " << error.what() << '\n';
+    return 1;
+  }
+  usage("unknown command");
+}
