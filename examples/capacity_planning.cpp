@@ -9,19 +9,35 @@
 // Usage: capacity_planning [server_budget_gbps] [neighborhood_size] [days]
 #include <cstdlib>
 #include <iostream>
+#include <iterator>
 
 #include "analysis/load_analysis.hpp"
 #include "analysis/table.hpp"
 #include "core/vod_system.hpp"
+#include "example_args.hpp"
 #include "trace/generator.hpp"
 
 using namespace vodcache;
 
+namespace {
+constexpr std::string_view kUsage =
+    "[server_budget_gbps] [neighborhood_size] [days]";
+}
+
 int main(int argc, char** argv) {
-  const double budget_gbps = argc > 1 ? std::atof(argv[1]) : 5.0;
-  const std::uint32_t neighborhood =
-      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 1000;
-  const int days = argc > 3 ? std::atoi(argv[3]) : 14;
+  using examples::positive_double_arg;
+  using examples::positive_int_arg;
+
+  const double budget_gbps =
+      positive_double_arg(argc, argv, 1, 5.0, "server_budget_gbps", kUsage);
+  const std::uint32_t neighborhood = static_cast<std::uint32_t>(
+      positive_int_arg(argc, argv, 2, 1000, "neighborhood_size", kUsage));
+  const int days = positive_int_arg(argc, argv, 3, 14, "days", kUsage);
+  // The per-peer sizes swept below; the largest one times the neighborhood
+  // size must fit the int64 capacity type.
+  constexpr int kSweepGb[] = {1, 2, 4, 6, 8, 10, 15, 20};
+  examples::require_capacity_fits(argv, kUsage, *std::rbegin(kSweepGb),
+                                  static_cast<int>(neighborhood));
 
   std::cout << "Capacity planning: keep peak central-server load under "
             << budget_gbps << " Gb/s with " << neighborhood
@@ -43,7 +59,7 @@ int main(int argc, char** argv) {
                          "p95 Gb/s", "coax p95 Mb/s", "fits budget"});
 
   double chosen = -1.0;
-  for (const int gb : {1, 2, 4, 6, 8, 10, 15, 20}) {
+  for (const int gb : kSweepGb) {
     config.per_peer_storage = DataSize::gigabytes(gb);
     core::VodSystem system(trace, config);
     const auto report = system.run();

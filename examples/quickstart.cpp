@@ -8,19 +8,29 @@
 
 #include "analysis/load_analysis.hpp"
 #include "core/vod_system.hpp"
+#include "example_args.hpp"
 #include "trace/generator.hpp"
 
 using namespace vodcache;
 
+namespace {
+constexpr std::string_view kUsage = "[days] [neighborhood_size] [per_peer_GB]";
+}
+
 int main(int argc, char** argv) {
+  using examples::positive_int_arg;
+
   trace::GeneratorConfig workload;
-  workload.days = argc > 1 ? std::atoi(argv[1]) : 14;
+  workload.days = positive_int_arg(argc, argv, 1, 14, "days", kUsage);
 
   core::SystemConfig system;
-  system.neighborhood_size =
-      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 1000;
-  system.per_peer_storage =
-      DataSize::gigabytes(argc > 3 ? std::atoi(argv[3]) : 10);
+  const int neighborhood =
+      positive_int_arg(argc, argv, 2, 1000, "neighborhood_size", kUsage);
+  const int per_peer_gb =
+      positive_int_arg(argc, argv, 3, 10, "per_peer_GB", kUsage);
+  examples::require_capacity_fits(argv, kUsage, per_peer_gb, neighborhood);
+  system.neighborhood_size = static_cast<std::uint32_t>(neighborhood);
+  system.per_peer_storage = DataSize::gigabytes(per_peer_gb);
   system.strategy.kind = core::StrategyKind::Lfu;
 
   std::cout << "Generating " << workload.days << "-day workload ("

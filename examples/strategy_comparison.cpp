@@ -8,19 +8,29 @@
 #include "analysis/load_analysis.hpp"
 #include "analysis/table.hpp"
 #include "core/vod_system.hpp"
+#include "example_args.hpp"
 #include "trace/generator.hpp"
 
 using namespace vodcache;
 
+namespace {
+constexpr std::string_view kUsage = "[days] [neighborhood_size] [per_peer_GB]";
+}
+
 int main(int argc, char** argv) {
+  using examples::positive_int_arg;
+
   trace::GeneratorConfig workload;
-  workload.days = argc > 1 ? std::atoi(argv[1]) : 14;
+  workload.days = positive_int_arg(argc, argv, 1, 14, "days", kUsage);
 
   core::SystemConfig base;
-  base.neighborhood_size =
-      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 500;
-  base.per_peer_storage =
-      DataSize::gigabytes(argc > 3 ? std::atoi(argv[3]) : 4);
+  const int neighborhood =
+      positive_int_arg(argc, argv, 2, 500, "neighborhood_size", kUsage);
+  const int per_peer_gb =
+      positive_int_arg(argc, argv, 3, 4, "per_peer_GB", kUsage);
+  examples::require_capacity_fits(argv, kUsage, per_peer_gb, neighborhood);
+  base.neighborhood_size = static_cast<std::uint32_t>(neighborhood);
+  base.per_peer_storage = DataSize::gigabytes(per_peer_gb);
   base.strategy.lfu_history = sim::SimTime::hours(72);
 
   std::cout << "Comparing strategies: " << base.neighborhood_size

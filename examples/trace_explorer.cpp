@@ -15,19 +15,32 @@
 #include "analysis/popularity_analysis.hpp"
 #include "analysis/session_analysis.hpp"
 #include "analysis/table.hpp"
+#include "example_args.hpp"
 #include "trace/csv_io.hpp"
 #include "trace/generator.hpp"
 
 using namespace vodcache;
 
+namespace {
+constexpr std::string_view kUsage = "[days] | --load <file>";
+}
+
 int main(int argc, char** argv) {
   trace::Trace trace;
-  if (argc > 2 && std::strcmp(argv[1], "--load") == 0) {
+  if (argc > 1 && std::strcmp(argv[1], "--load") == 0) {
+    if (argc < 3) {
+      examples::usage_error(argv[0], kUsage, "--load needs a file argument");
+    }
     std::cout << "Loading trace from " << argv[2] << "...\n";
-    trace = trace::read_csv_file(argv[2]);
+    try {
+      trace = trace::read_csv_file(argv[2]);
+    } catch (const std::exception& error) {
+      std::cerr << argv[0] << ": " << error.what() << '\n';
+      return 1;
+    }
   } else {
     trace::GeneratorConfig config;
-    config.days = argc > 1 ? std::atoi(argv[1]) : 14;
+    config.days = examples::positive_int_arg(argc, argv, 1, 14, "days", kUsage);
     std::cout << "Generating " << config.days << "-day synthetic trace...\n";
     trace = trace::generate_power_info_like(config);
   }

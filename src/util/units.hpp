@@ -50,6 +50,16 @@ class DataSize {
     return static_cast<double>(bits_) / 1e9;
   }
 
+  // True when `*this * n` fits the int64 bit count — callers validating
+  // untrusted capacity products (per-peer storage x peer count) check this
+  // before multiplying, since operator* itself does not.  Both operands
+  // must be nonnegative; negative products are outside the contract.
+  [[nodiscard]] constexpr bool multipliable_by(std::int64_t n) const {
+    VODCACHE_EXPECTS(bits_ >= 0 && n >= 0);
+    if (n == 0 || bits_ == 0) return true;
+    return bits_ <= INT64_MAX / n;
+  }
+
   friend constexpr auto operator<=>(DataSize, DataSize) = default;
 
   constexpr DataSize& operator+=(DataSize o) {

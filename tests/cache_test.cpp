@@ -129,7 +129,7 @@ TEST(Lru, ClassicReferenceSequence) {
   // Reference string 1,2,3,1,4 with capacity 3 (admissions driven manually
   // the way the index server would): 4 must evict 2.
   LruStrategy lru;
-  for (const auto [p, t] :
+  for (const auto& [p, t] :
        {std::pair{1, 1}, {2, 2}, {3, 3}, {1, 4}}) {
     lru.record_access(ProgramId{static_cast<std::uint32_t>(p)}, at_min(t));
     if (!lru.is_cached(ProgramId{static_cast<std::uint32_t>(p)})) {

@@ -398,5 +398,41 @@ TEST(VodSystem, WarmupShrinksToHalfHorizonForShortRuns) {
   EXPECT_EQ(report.measured_from, sim::SimTime::hours(12));
 }
 
+// ------------------------------------------- segment boundary accounting
+
+// A 7.5-minute program is ceil(450 / 300) = 2 segments; the final segment is
+// min(300 s, remaining) = 150 s.  A full watch must transmit exactly 450 s
+// at the stream rate — an off-by-one that bills 2 x 300 s shows up here.
+TEST(VodSystem, FinalPartialSegmentBillsOnlyRemainingSeconds) {
+  std::vector<trace::ProgramInfo> programs(1);
+  programs[0] = {sim::SimTime::seconds(450), sim::SimTime{}, 1.0};
+  const auto trace =
+      make_trace(trace::Catalog(std::move(programs)), {{0, 0, 0, 450}}, 1);
+  VodSystem system(trace, small_config());
+  const auto report = system.run();
+  EXPECT_EQ(report.segments, 2u);
+  EXPECT_DOUBLE_EQ(report.coax_bits, 8e6 * 450);
+  EXPECT_DOUBLE_EQ(report.server_bits, 8e6 * 450);  // cold cache: all misses
+}
+
+// Quitting mid-segment transmits only up to the quit time, and a session
+// that ends exactly on a segment boundary must not start the next segment.
+TEST(VodSystem, SessionEndClampsAndBoundaryEndStartsNoExtraSegment) {
+  {
+    const auto trace = make_trace(uniform_catalog(1), {{0, 0, 0, 310}}, 1);
+    VodSystem system(trace, small_config());
+    const auto report = system.run();
+    EXPECT_EQ(report.segments, 2u);
+    EXPECT_DOUBLE_EQ(report.coax_bits, 8e6 * 310);
+  }
+  {
+    const auto trace = make_trace(uniform_catalog(1), {{0, 0, 0, 300}}, 1);
+    VodSystem system(trace, small_config());
+    const auto report = system.run();
+    EXPECT_EQ(report.segments, 1u);
+    EXPECT_DOUBLE_EQ(report.coax_bits, 8e6 * 300);
+  }
+}
+
 }  // namespace
 }  // namespace vodcache::core

@@ -89,7 +89,9 @@ TEST(Multicast, BiggerWindowsNeverIncreaseLoad) {
   for (const std::int64_t window : {0, 60, 300, 1800}) {
     const auto report =
         simulate_multicast(trace, config_with_window(window), kAllDay);
-    if (previous >= 0.0) EXPECT_LE(report.server_bits, previous * 1.0001);
+    if (previous >= 0.0) {
+      EXPECT_LE(report.server_bits, previous * 1.0001);
+    }
     previous = report.server_bits;
   }
 }

@@ -225,7 +225,9 @@ TEST_P(Seeded, AliasTableMatchesWeights) {
     const double expect = weights[i] / total;
     EXPECT_NEAR(static_cast<double>(counts[i]) / kDraws, expect,
                 0.015 + expect * 0.1);
-    if (weights[i] == 0.0) EXPECT_EQ(counts[i], 0);
+    if (weights[i] == 0.0) {
+      EXPECT_EQ(counts[i], 0);
+    }
   }
 }
 

@@ -127,6 +127,41 @@ TEST(EventQueue, SizeAndClear) {
   EXPECT_TRUE(q.empty());
 }
 
+TEST(EventQueue, FifoHoldsWhenPushingDuringSameTimestampDrain) {
+  // The reschedule pattern: while draining events at time T, handlers push
+  // more events at the same T.  Every pop replaces the heap root with the
+  // back element, so this exercises sift_down with equal keys; the sequence
+  // number must still order new arrivals after everything pushed earlier.
+  EventQueue<int> q;
+  const auto t = SimTime::seconds(42);
+  for (int i = 0; i < 8; ++i) q.push(t, i);
+  std::vector<int> order;
+  int next = 8;
+  while (!q.empty()) {
+    const int got = q.pop().payload;
+    order.push_back(got);
+    if (next < 16) q.push(t, next++);
+  }
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, EarlierTimestampJumpsReorderedQueueDeterministically) {
+  // Pops at a mixed set of timestamps interleaved with pushes at already
+  // drained-to timestamps: FIFO must hold per timestamp across the churn.
+  EventQueue<int> q;
+  q.push(SimTime::seconds(10), 100);
+  q.push(SimTime::seconds(10), 101);
+  q.push(SimTime::seconds(20), 200);
+  EXPECT_EQ(q.pop().payload, 100);
+  q.push(SimTime::seconds(10), 102);  // same timestamp as the current front
+  q.push(SimTime::seconds(20), 201);
+  EXPECT_EQ(q.pop().payload, 101);
+  EXPECT_EQ(q.pop().payload, 102);
+  EXPECT_EQ(q.pop().payload, 200);
+  EXPECT_EQ(q.pop().payload, 201);
+}
+
 TEST(EventQueue, LargeRandomOrderIsSorted) {
   EventQueue<int> q;
   std::uint64_t state = 12345;
@@ -176,6 +211,20 @@ TEST(Engine, HandlersCanScheduleMoreEvents) {
   engine.run();
   EXPECT_EQ(fired, 5);
   EXPECT_EQ(engine.now(), SimTime::seconds(40));
+}
+
+TEST(Engine, ZeroDelayRescheduleRunsAfterPendingSameTimeHandlers) {
+  // A handler rescheduling at the current instant must run after the other
+  // handlers already queued for that instant — FIFO within a timestamp.
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(SimTime::seconds(5), [&](SimTime) {
+    order.push_back(1);
+    engine.schedule_after(SimTime{}, [&](SimTime) { order.push_back(3); });
+  });
+  engine.schedule_at(SimTime::seconds(5), [&](SimTime) { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
 TEST(Engine, ScheduleAfterUsesCurrentClock) {

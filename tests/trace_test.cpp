@@ -151,6 +151,26 @@ TEST(CsvIo, RejectsMalformedNumbers) {
   EXPECT_THROW((void)read_csv(buffer), std::runtime_error);
 }
 
+TEST(CsvIo, RejectsSessionBeforeAnyProgram) {
+  // Programs-before-sessions: a session line may only reference programs
+  // already declared, so one arriving first must throw, not index into an
+  // empty catalog.
+  std::stringstream buffer(
+      "meta,1,86400000\n"
+      "session,1000,0,0,1000\n"
+      "program,0,600000,0,1.0\n");
+  EXPECT_THROW((void)read_csv(buffer), std::runtime_error);
+}
+
+TEST(CsvIo, RejectsWrongFieldCounts) {
+  for (const char* line : {"meta,1\n", "program,0,600000\n", "session,1000,0\n",
+                           "session,1000,0,0,1000,9\n"}) {
+    std::stringstream buffer(std::string("meta,1,86400000\n") +
+                             "program,0,600000,0,1.0\n" + line);
+    EXPECT_THROW((void)read_csv(buffer), std::runtime_error) << line;
+  }
+}
+
 TEST(CsvIo, RejectsUnknownRecordKind) {
   std::stringstream buffer(
       "meta,1,86400000\n"

@@ -9,6 +9,7 @@
 
 #include "util/histogram.hpp"
 #include "util/ids.hpp"
+#include "util/parse.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/units.hpp"
@@ -420,6 +421,44 @@ TEST(Histogram, WeightedCounts) {
   EXPECT_EQ(h.bucket(0), 10u);
   EXPECT_EQ(h.bucket(2), 5u);
   EXPECT_EQ(h.total(), 15u);
+}
+
+TEST(DataSize, MultipliableByDetectsOverflow) {
+  EXPECT_TRUE(DataSize::gigabytes(10).multipliable_by(1000));
+  EXPECT_TRUE(DataSize::gigabytes(1'000'000'000).multipliable_by(1));
+  EXPECT_FALSE(DataSize::gigabytes(1'000'000'000).multipliable_by(1000));
+  EXPECT_FALSE(DataSize::gigabytes(20).multipliable_by(1'000'000'000));
+  EXPECT_TRUE(DataSize{}.multipliable_by(1'000'000'000));
+}
+
+// ------------------------------------------------------------ parse_strict
+
+TEST(ParseStrict, AcceptsWholeStringNumbers) {
+  EXPECT_EQ(util::parse_strict<int>("42"), 42);
+  EXPECT_EQ(util::parse_strict<int>("-7"), -7);
+  EXPECT_EQ(util::parse_strict<std::int64_t>("9000000000"), 9000000000LL);
+  EXPECT_DOUBLE_EQ(*util::parse_strict<double>("0.25"), 0.25);
+}
+
+TEST(ParseStrict, RejectsGarbageAndTrailingText) {
+  EXPECT_FALSE(util::parse_strict<int>(""));
+  EXPECT_FALSE(util::parse_strict<int>("abc"));
+  EXPECT_FALSE(util::parse_strict<int>("10x"));
+  EXPECT_FALSE(util::parse_strict<int>("1 "));
+  EXPECT_FALSE(util::parse_strict<double>("1.5.2"));
+}
+
+TEST(ParseStrict, RejectsOverflowForDestinationType) {
+  EXPECT_FALSE(util::parse_strict<int>("4294967296"));
+  EXPECT_FALSE(util::parse_strict<std::int64_t>("99999999999999999999"));
+  EXPECT_TRUE(util::parse_strict<std::int64_t>("4294967296"));
+}
+
+TEST(ParseStrict, RejectsNonFiniteFloats) {
+  EXPECT_FALSE(util::parse_strict<double>("nan"));
+  EXPECT_FALSE(util::parse_strict<double>("inf"));
+  EXPECT_FALSE(util::parse_strict<double>("-inf"));
+  EXPECT_FALSE(util::parse_strict<double>("1e999"));
 }
 
 }  // namespace

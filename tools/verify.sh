@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure -> build -> ctest.  Exits nonzero on any failure.
+#
+# Usage: tools/verify.sh [build-dir]       (default: build)
+# Environment:
+#   VODCACHE_WERROR=ON    promote warnings to errors for the whole tree
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DVODCACHE_WERROR="${VODCACHE_WERROR:-OFF}"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -30,6 +30,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,7 @@
 #include "core/vod_system.hpp"
 #include "trace/csv_io.hpp"
 #include "trace/generator.hpp"
+#include "util/parse.hpp"
 
 namespace {
 
@@ -60,6 +62,38 @@ struct CliOptions {
       "usage: vodcache run|gen|demand [options]  (see source header or "
       "README)\n";
   std::exit(message == nullptr ? 0 : 2);
+}
+
+// Option bounds: generous enough for any realistic deployment, tight enough
+// that downstream millisecond/bit conversions cannot overflow int64.
+constexpr std::int64_t kMaxDays = 100'000;               // ~270 years
+constexpr std::int64_t kMaxHours = kMaxDays * 24;
+constexpr std::int64_t kMaxCount = 0xFFFFFFFF;           // uint32 ids
+constexpr std::int64_t kMaxGigabytes = 1'000'000'000;    // 1 exabyte
+
+// Strict numeric option parsing: malformed, overflowing, or out-of-range
+// values are usage errors (exit 2), never library precondition aborts and
+// never silent narrowing wraps.
+std::int64_t parse_int(const std::string& text, const char* option,
+                       std::int64_t min_value, std::int64_t max_value) {
+  const auto value = util::parse_strict<std::int64_t>(text);
+  if (!value || *value < min_value || *value > max_value) {
+    usage((std::string(option) + " needs an integer in [" +
+           std::to_string(min_value) + ", " + std::to_string(max_value) +
+           "], got '" + text + "'")
+              .c_str());
+  }
+  return *value;
+}
+
+double parse_fraction(const std::string& text, const char* option) {
+  const auto value = util::parse_strict<double>(text);
+  if (!value || *value <= 0.0 || *value > 1.0) {
+    usage((std::string(option) + " needs a fraction in (0, 1], got '" + text +
+           "'")
+              .c_str());
+  }
+  return *value;
 }
 
 core::StrategyKind parse_strategy(const std::string& name) {
@@ -85,47 +119,52 @@ CliOptions parse(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--days") {
-      options.workload.days = std::atoi(need_value(i).c_str());
+      options.workload.days = static_cast<int>(
+          parse_int(need_value(i), "--days", 1, kMaxDays));
     } else if (arg == "--users") {
-      options.workload.user_count =
-          static_cast<std::uint32_t>(std::atoi(need_value(i).c_str()));
+      options.workload.user_count = static_cast<std::uint32_t>(
+          parse_int(need_value(i), "--users", 1, kMaxCount));
     } else if (arg == "--programs") {
-      options.workload.program_count =
-          static_cast<std::uint32_t>(std::atoi(need_value(i).c_str()));
+      options.workload.program_count = static_cast<std::uint32_t>(
+          parse_int(need_value(i), "--programs", 1, kMaxCount));
     } else if (arg == "--seed") {
-      options.workload.seed =
-          static_cast<std::uint64_t>(std::atoll(need_value(i).c_str()));
+      options.workload.seed = static_cast<std::uint64_t>(parse_int(
+          need_value(i), "--seed", 0, std::numeric_limits<std::int64_t>::max()));
     } else if (arg == "--trace") {
       options.trace_path = need_value(i);
     } else if (arg == "--neighborhood") {
-      options.system.neighborhood_size =
-          static_cast<std::uint32_t>(std::atoi(need_value(i).c_str()));
+      options.system.neighborhood_size = static_cast<std::uint32_t>(
+          parse_int(need_value(i), "--neighborhood", 1, kMaxCount));
     } else if (arg == "--per-peer-gb") {
-      options.system.per_peer_storage =
-          DataSize::gigabytes(std::atoll(need_value(i).c_str()));
+      options.system.per_peer_storage = DataSize::gigabytes(
+          parse_int(need_value(i), "--per-peer-gb", 1, kMaxGigabytes));
     } else if (arg == "--strategy") {
       options.system.strategy.kind = parse_strategy(need_value(i));
     } else if (arg == "--history-hours") {
-      options.system.strategy.lfu_history =
-          sim::SimTime::hours(std::atoll(need_value(i).c_str()));
+      options.system.strategy.lfu_history = sim::SimTime::hours(
+          parse_int(need_value(i), "--history-hours", 0, kMaxHours));
     } else if (arg == "--lag-minutes") {
-      options.system.strategy.global_lag =
-          sim::SimTime::minutes(std::atoll(need_value(i).c_str()));
+      options.system.strategy.global_lag = sim::SimTime::minutes(
+          parse_int(need_value(i), "--lag-minutes", 0, kMaxHours * 60));
     } else if (arg == "--segment-admission") {
       options.system.admission = core::CacheAdmission::Segment;
     } else if (arg == "--replicate") {
       options.system.replicate_on_busy = true;
     } else if (arg == "--warmup-days") {
-      options.system.warmup =
-          sim::SimTime::days(std::atoll(need_value(i).c_str()));
+      options.system.warmup = sim::SimTime::days(
+          parse_int(need_value(i), "--warmup-days", 0, kMaxDays));
     } else if (arg == "--fail") {
       core::SystemConfig::PeerFailure failure;
-      failure.time = sim::SimTime::hours(std::atoll(need_value(i).c_str()));
-      failure.fraction = std::atof(need_value(i).c_str());
+      failure.time = sim::SimTime::hours(
+          parse_int(need_value(i), "--fail", 0, kMaxHours));
+      failure.fraction = parse_fraction(need_value(i), "--fail");
       options.system.peer_failures.push_back(failure);
     } else if (arg == "--json") {
       options.emit_json = true;
-      if (i + 1 < argc && argv[i + 1][0] != '-') {
+      // Optional value: a path, or an explicit "-" for stdout (also the
+      // default when the next token is another option).
+      if (i + 1 < argc &&
+          (argv[i + 1][0] != '-' || std::strcmp(argv[i + 1], "-") == 0)) {
         options.json_path = argv[++i];
       } else {
         options.json_path = "-";
@@ -138,6 +177,12 @@ CliOptions parse(int argc, char** argv) {
     } else {
       usage(("unknown option: " + arg).c_str());
     }
+  }
+  // Each option is individually bounded, but their product is the int64 bit
+  // count of a neighborhood cache — reject combinations that overflow it.
+  if (!options.system.per_peer_storage.multipliable_by(
+          options.system.neighborhood_size)) {
+    usage("--per-peer-gb x --neighborhood overflows total capacity");
   }
   return options;
 }
@@ -193,20 +238,24 @@ int cmd_run(const CliOptions& options) {
   core::VodSystem system(trace, options.system);
   const auto report = system.run();
 
-  std::cout << report.to_string();
-  std::cout << "no-cache demand:  " << demand.mean.gbps() << " Gb/s\n"
-            << "reduction:        "
-            << analysis::Table::num(100.0 * report.reduction_vs(demand.mean),
-                                    1)
-            << "%\n";
+  // With --json to stdout, stdout must stay machine-parseable: route the
+  // human-readable summary to stderr instead.
+  const bool json_on_stdout = options.emit_json && options.json_path == "-";
+  std::ostream& human = json_on_stdout ? std::cerr : std::cout;
+
+  human << report.to_string();
+  human << "no-cache demand:  " << demand.mean.gbps() << " Gb/s\n"
+        << "reduction:        "
+        << analysis::Table::num(100.0 * report.reduction_vs(demand.mean), 1)
+        << "%\n";
 
   // Headend fiber provisioning summary (max over neighborhoods).
   double fiber_q95 = 0.0;
   for (const auto& n : report.neighborhoods) {
     fiber_q95 = std::max(fiber_q95, n.fiber_peak.q95.mbps());
   }
-  std::cout << "worst headend fiber feed (p95): "
-            << analysis::Table::num(fiber_q95, 0) << " Mb/s\n";
+  human << "worst headend fiber feed (p95): "
+        << analysis::Table::num(fiber_q95, 0) << " Mb/s\n";
 
   if (options.emit_json) {
     if (options.json_path == "-") {
