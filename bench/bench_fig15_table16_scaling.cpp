@@ -15,8 +15,20 @@
 // Runtime scales with pop x days; the default (10 days) keeps the full 25-
 // cell sweep to a few minutes.  VODCACHE_DAYS raises fidelity toward the
 // paper's 7-month steady state.
+//
+// Beyond the paper: this harness also owns the engine's own scaling story.
+// It replays the 1x workload at 1/2/4/8 worker threads, checks the reports
+// are byte-identical, and writes the wall-clock numbers to
+// BENCH_scaling.json (override the path with VODCACHE_SCALING_JSON).
+// VODCACHE_SCALING_ONLY=1 skips the 25-cell paper sweep for CI use.
+#include <chrono>
+#include <fstream>
+#include <thread>
+#include <vector>
+
 #include "bench_support.hpp"
 
+#include "core/report_json.hpp"
 #include "trace/scaler.hpp"
 
 using namespace vodcache;
@@ -29,11 +41,89 @@ const double kPaperTable[5][5] = {{2.14, 5.07, 6.98, 8.23, 9.16},
                                   {8.45, 20.08, 27.71, 32.79, 36.49},
                                   {10.54, 25.11, 34.65, 41.01, 45.64}};
 
+// Thread-scaling sweep: wall clock per thread count, byte-identity check,
+// JSON emission.  Returns nonzero on a determinism violation.
+int run_thread_scaling(const trace::Trace& trace,
+                       const core::SystemConfig& base, int days) {
+  bench::print_header(
+      "Engine scaling: sharded replay wall-clock at 1/2/4/8 threads",
+      "reports must be byte-identical; speedup bounded by cores/shards");
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::cout << "hardware_concurrency: " << cores << "\n";
+
+  struct Sample {
+    int threads;
+    double wall_ms;
+  };
+  std::vector<Sample> samples;
+  std::string reference_json;
+  bool identical = true;
+
+  analysis::Table table({"threads", "wall s", "speedup", "identical"});
+  for (const int threads : {1, 2, 4, 8}) {
+    auto config = base;
+    config.threads = static_cast<std::uint32_t>(threads);
+    const auto begin = std::chrono::steady_clock::now();
+    core::VodSystem system(trace, config);
+    const auto report = system.run();
+    const auto end = std::chrono::steady_clock::now();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(end - begin).count();
+
+    const auto json = core::to_json(report, /*include_neighborhoods=*/true);
+    if (reference_json.empty()) {
+      reference_json = json;
+    } else if (json != reference_json) {
+      identical = false;
+    }
+    samples.push_back({threads, wall_ms});
+    table.add_row({std::to_string(threads),
+                   analysis::Table::num(wall_ms / 1000.0, 2),
+                   analysis::Table::num(samples.front().wall_ms / wall_ms, 2),
+                   json == reference_json ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+
+  const char* path_env = std::getenv("VODCACHE_SCALING_JSON");
+  const std::string path = path_env != nullptr ? path_env : "BENCH_scaling.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "FAIL: cannot write " << path << '\n';
+    return 1;
+  }
+  out << "{\"bench\":\"fig15_thread_scaling\",\"days\":" << days
+      << ",\"users\":" << trace.user_count()
+      << ",\"sessions\":" << trace.session_count()
+      << ",\"hardware_concurrency\":" << cores
+      << ",\"reports_identical\":" << (identical ? "true" : "false")
+      << ",\"runs\":[";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    out << (i ? "," : "") << "{\"threads\":" << samples[i].threads
+        << ",\"wall_ms\":" << samples[i].wall_ms << ",\"speedup\":"
+        << samples.front().wall_ms / samples[i].wall_ms << '}';
+  }
+  out << "]}\n";
+  std::cout << "wrote " << path << '\n';
+
+  if (!identical) {
+    std::cerr << "FAIL: reports differ across thread counts\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main() {
   const int days = bench::workload_days(10);
   const int max_factor = bench::env_int("VODCACHE_MAX_FACTOR", 5);
+  const bool scaling_only = std::getenv("VODCACHE_SCALING_ONLY") != nullptr;
+
+  if (scaling_only) {
+    const auto base = bench::standard_trace(days);
+    return run_thread_scaling(base, bench::standard_system(), days);
+  }
   bench::print_header(
       "Figure 15 / Table 16(a): population x catalog scaling (LFU, 10 TB "
       "neighborhood caches)",
@@ -91,14 +181,18 @@ int main() {
   for (int cat = 1; cat <= max_factor; ++cat) {
     const double gbps = measured[0][cat - 1];
     const double prev = cat > 1 ? measured[0][cat - 2] : 0.0;
+    // std::string("+") rather than "+" + rvalue: GCC 12's -Wrestrict false
+    // positive (PR105329) fires on the const char* + string&& overload at -O3.
     fig16c.add_row({std::to_string(cat) + "x", analysis::Table::num(gbps, 2),
-                    cat > 1 ? "+" + analysis::Table::num(gbps - prev, 2)
-                            : "-"});
+                    cat > 1 ? std::string("+") +
+                                  analysis::Table::num(gbps - prev, 2)
+                            : std::string("-")});
   }
   fig16c.print(std::cout);
 
   std::cout << "\nCumulative increases in both population and catalog are "
                "needed to push the\nserver past the no-cache line (paper "
                "section VI-C).\n";
-  return 0;
+
+  return run_thread_scaling(base, config, days);
 }

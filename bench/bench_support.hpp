@@ -4,7 +4,9 @@
 // paper's reference numbers next to the measured ones.  Workload length is
 // tunable: VODCACHE_DAYS=<n> overrides each bench's default (longer runs
 // converge closer to the paper's 7-month steady state; the defaults trade a
-// little convergence for minutes of runtime).
+// little convergence for minutes of runtime), and VODCACHE_THREADS=<n> runs
+// the sharded replay on a worker pool (bit-identical numbers, less wall
+// clock).
 #pragma once
 
 #include <cstdlib>
@@ -15,18 +17,30 @@
 #include "analysis/table.hpp"
 #include "core/vod_system.hpp"
 #include "trace/generator.hpp"
+#include "util/parse.hpp"
 
 namespace vodcache::bench {
 
+// A malformed override is a broken run, not a default one: fail loudly so
+// a typo'd VODCACHE_DAYS=3O never silently benchmarks the default workload.
 inline int env_int(const char* name, int fallback) {
   const char* value = std::getenv(name);
   if (value == nullptr) return fallback;
-  const int parsed = std::atoi(value);
-  return parsed > 0 ? parsed : fallback;
+  const auto parsed = util::parse_strict<int>(value);
+  if (!parsed || *parsed <= 0) {
+    std::cerr << "bench: " << name << " must be a positive integer, got '"
+              << value << "'\n";
+    std::exit(2);
+  }
+  return *parsed;
 }
 
 inline int workload_days(int fallback) {
   return env_int("VODCACHE_DAYS", fallback);
+}
+
+inline int workload_threads(int fallback = 1) {
+  return env_int("VODCACHE_THREADS", fallback);
 }
 
 // The full-scale PowerInfo-like workload (41,698 users, 8,278 programs).
@@ -48,7 +62,10 @@ inline core::SystemConfig standard_system() {
 
 inline core::SimulationReport run_system(const trace::Trace& trace,
                                          const core::SystemConfig& config) {
-  core::VodSystem system(trace, config);
+  core::SystemConfig actual = config;
+  actual.threads = static_cast<std::uint32_t>(
+      workload_threads(static_cast<int>(config.threads)));
+  core::VodSystem system(trace, actual);
   return system.run();
 }
 

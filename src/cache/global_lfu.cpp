@@ -13,29 +13,70 @@ GlobalLfuStrategy::GlobalLfuStrategy(std::shared_ptr<PopularityBoard> board)
     // Live mode: mark cached programs dirty when any neighborhood changes
     // their global count; re-ranking happens at the next victim decision.
     board_->subscribe([this](ProgramId program, sim::SimTime t) {
-      if (is_cached(program)) {
-        dirty_.insert(program);
-        dirty_time_ = t;
-      }
+      mark_dirty(program);
+      dirty_time_ = std::max(dirty_time_, t);
     });
   }
 }
 
+GlobalLfuStrategy::GlobalLfuStrategy(std::shared_ptr<const ReplayBoard> board,
+                                     const sim::ReplayClock* clock)
+    : replay_(std::move(board)), clock_(clock) {
+  VODCACHE_EXPECTS(replay_ != nullptr);
+  VODCACHE_EXPECTS(clock_ != nullptr);
+  ReplayCursor::ChangeCallback on_change;
+  if (replay_->lag() == sim::SimTime{}) {
+    on_change = [this](ProgramId program) { mark_dirty(program); };
+  }
+  cursor_ = std::make_unique<ReplayCursor>(*replay_, std::move(on_change));
+}
+
+sim::SimTime GlobalLfuStrategy::lag() const {
+  return board_ != nullptr ? board_->lag() : replay_->lag();
+}
+
+void GlobalLfuStrategy::mark_dirty(ProgramId program) {
+  if (is_cached(program)) dirty_.insert(program);
+}
+
+void GlobalLfuStrategy::rerank_dirty(sim::SimTime t) {
+  if (dirty_.empty()) return;
+  // Re-score on a drained copy: scoring can advance the live board, whose
+  // notifications would otherwise insert into the set mid-iteration.
+  const std::unordered_set<ProgramId> pending = std::move(dirty_);
+  dirty_.clear();
+  for (const ProgramId program : pending) {
+    if (is_cached(program)) cached().update(program, score(program, t));
+  }
+}
+
+bool GlobalLfuStrategy::snapshot_turned(sim::SimTime t) {
+  std::uint64_t epoch = 0;
+  if (board_ != nullptr) {
+    board_->advance(t);
+    epoch = board_->snapshot_epoch();
+  } else {
+    cursor_->advance(t, clock_->position);
+    epoch = cursor_->snapshot_epoch();
+  }
+  if (epoch == seen_epoch_) return false;
+  seen_epoch_ = epoch;
+  return true;
+}
+
 void GlobalLfuStrategy::refresh(sim::SimTime t) {
-  if (board_->lag() == sim::SimTime{}) {
-    if (dirty_.empty()) return;
-    const sim::SimTime at = std::max(t, dirty_time_);
-    for (const ProgramId program : dirty_) {
-      if (is_cached(program)) cached().update(program, score(program, at));
-    }
-    dirty_.clear();
+  if (lag() == sim::SimTime{}) {
+    // Replay mode advances its cursor first so that expiries between the
+    // shard's events are applied (and dirty-marked) before re-ranking; the
+    // live board is advanced by every record from every neighborhood, so
+    // its subscribers are already up to date.
+    if (cursor_ != nullptr) cursor_->advance(t, clock_->position);
+    rerank_dirty(board_ != nullptr ? std::max(t, dirty_time_) : t);
     return;
   }
-  board_->advance(t);
-  if (board_->snapshot_epoch() == seen_epoch_) return;
+  if (!snapshot_turned(t)) return;
   // A new global batch arrived: local deltas are folded into it; re-rank
   // everything we hold.
-  seen_epoch_ = board_->snapshot_epoch();
   local_since_snapshot_.clear();
   for (const ProgramId program : cached().programs()) {
     cached().update(program, score(program, t));
@@ -45,16 +86,27 @@ void GlobalLfuStrategy::refresh(sim::SimTime t) {
 void GlobalLfuStrategy::record_access(ProgramId program, sim::SimTime t) {
   refresh(t);
   last_access_[program] = next_sequence();
-  board_->record(program, t);
-  if (board_->lag() > sim::SimTime{}) ++local_since_snapshot_[program];
+  if (board_ != nullptr) {
+    board_->record(program, t);
+  } else {
+    cursor_->ingest_local(program, t);
+  }
+  if (lag() > sim::SimTime{}) ++local_since_snapshot_[program];
   cached().update(program, score(program, t));
+}
+
+std::int64_t GlobalLfuStrategy::global_count(ProgramId program,
+                                             sim::SimTime t) {
+  if (board_ != nullptr) return board_->visible_count(program, t);
+  cursor_->advance(t, clock_->position);
+  return cursor_->visible_count(program);
 }
 
 Score GlobalLfuStrategy::score(ProgramId program, sim::SimTime t) {
   const auto last = last_access_.find(program);
   const std::int64_t seq = last == last_access_.end() ? 0 : last->second;
-  std::int64_t count = board_->visible_count(program, t);
-  if (board_->lag() > sim::SimTime{}) {
+  std::int64_t count = global_count(program, t);
+  if (lag() > sim::SimTime{}) {
     const auto it = local_since_snapshot_.find(program);
     if (it != local_since_snapshot_.end()) count += it->second;
   }

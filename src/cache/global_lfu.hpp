@@ -5,6 +5,19 @@
 //   lag == 0 : (live global in-window count, local recency)
 //   lag > 0  : (global count at last snapshot + local accesses since that
 //               snapshot, local recency)
+//
+// The strategy runs in one of two modes over the same scoring logic:
+//
+//  * live mode — every neighborhood's strategy shares one mutable
+//    PopularityBoard and learns of remote accesses through its
+//    subscription.  This is the directly-testable spec of the semantics,
+//    and requires all neighborhoods to advance through time together.
+//  * replay mode — the strategy reads an immutable, trace-prebuilt
+//    ReplayBoard through its own ReplayCursor, paced by the owning shard's
+//    ReplayClock.  No cross-neighborhood synchronization, so shards can
+//    run on different threads; counts are exact at every decision point
+//    (the live board's lazily-deferred expiries are applied eagerly, see
+//    README "Architecture").
 #pragma once
 
 #include <memory>
@@ -13,15 +26,21 @@
 
 #include "cache/popularity_board.hpp"
 #include "cache/strategy.hpp"
+#include "sim/replay_clock.hpp"
 
 namespace vodcache::cache {
 
 class GlobalLfuStrategy final : public ScoredStrategy {
  public:
+  // Live mode: one shared mutable board.
   explicit GlobalLfuStrategy(std::shared_ptr<PopularityBoard> board);
+  // Replay mode: immutable prebuilt board, paced by the shard's clock
+  // (both must outlive the strategy; the clock is owned by the shard).
+  GlobalLfuStrategy(std::shared_ptr<const ReplayBoard> board,
+                    const sim::ReplayClock* clock);
 
   [[nodiscard]] std::string_view name() const override {
-    return board_->lag() == sim::SimTime{} ? "GlobalLFU" : "GlobalLFU(lagged)";
+    return lag() == sim::SimTime{} ? "GlobalLFU" : "GlobalLFU(lagged)";
   }
 
   void record_access(ProgramId program, sim::SimTime t) override;
@@ -29,8 +48,21 @@ class GlobalLfuStrategy final : public ScoredStrategy {
 
  private:
   void refresh(sim::SimTime t) override;
+  [[nodiscard]] sim::SimTime lag() const;
+  [[nodiscard]] std::int64_t global_count(ProgramId program, sim::SimTime t);
+  void mark_dirty(ProgramId program);
+  void rerank_dirty(sim::SimTime t);
+  // True when a new global snapshot became visible since the last refresh
+  // (lag > 0 only); updates the seen epoch as a side effect.
+  [[nodiscard]] bool snapshot_turned(sim::SimTime t);
 
+  // Live mode.
   std::shared_ptr<PopularityBoard> board_;
+  // Replay mode.
+  std::shared_ptr<const ReplayBoard> replay_;
+  const sim::ReplayClock* clock_ = nullptr;
+  std::unique_ptr<ReplayCursor> cursor_;
+
   std::unordered_map<ProgramId, std::int64_t> last_access_;
   // lag > 0 only: local accesses since the snapshot we last saw.
   std::unordered_map<ProgramId, std::int64_t> local_since_snapshot_;

@@ -15,6 +15,19 @@
 //
 // Time must be fed in non-decreasing order, which the single-threaded
 // discrete-event simulation guarantees.
+//
+// Two forms live here:
+//
+//  * PopularityBoard — the live, mutable board: one shared instance fed by
+//    every neighborhood as the (serial) simulation discovers accesses.
+//  * ReplayBoard + ReplayCursor — the sharded form.  Because the board is
+//    only ever fed at *session starts*, and session starts come straight
+//    from the sorted trace, the entire access timeline can be prebuilt
+//    before the run (exactly like FutureIndex does for the oracle).  The
+//    ReplayBoard is that immutable timeline; each shard then owns a
+//    ReplayCursor, a cheap mutable read position that reproduces the live
+//    board's visible counts at any (time, trace-position) pair without any
+//    cross-shard synchronization.
 #pragma once
 
 #include <cstdint>
@@ -71,6 +84,88 @@ class PopularityBoard {
   sim::SimTime next_batch_;
   std::uint64_t epoch_ = 0;
   std::vector<std::function<void(ProgramId, sim::SimTime)>> subscribers_;
+};
+
+// The immutable, trace-prebuilt access timeline.  Built once (serially)
+// from every session start in the trace, frozen, then shared read-only by
+// all shards.
+class ReplayBoard {
+ public:
+  struct Access {
+    sim::SimTime time;
+    ProgramId program;
+  };
+
+  ReplayBoard(std::size_t program_count, sim::SimTime window,
+              sim::SimTime lag);
+
+  // Accesses must arrive in non-decreasing time order (trace order).
+  void add(ProgramId program, sim::SimTime t);
+  void freeze();
+
+  [[nodiscard]] const std::vector<Access>& accesses() const {
+    return accesses_;
+  }
+  [[nodiscard]] std::size_t program_count() const { return program_count_; }
+  [[nodiscard]] sim::SimTime window() const { return window_; }
+  [[nodiscard]] sim::SimTime lag() const { return lag_; }
+  [[nodiscard]] bool frozen() const { return frozen_; }
+
+ private:
+  sim::SimTime window_;
+  sim::SimTime lag_;
+  std::size_t program_count_;
+  std::vector<Access> accesses_;
+  bool frozen_ = false;
+};
+
+// A shard-local read position over a frozen ReplayBoard.  Reproduces the
+// live board's semantics:
+//
+//   * advance(t, upto) makes the first `upto` accesses visible and expires
+//     ones older than t - window — the state a live board would hold after
+//     the serial engine replayed `upto` records and the clock reached t.
+//     Both arguments are clamped monotone, so out-of-order no-op calls
+//     (same event, several queries) are safe.
+//   * lag > 0 publishes a snapshot whenever a batch boundary is crossed;
+//     the snapshot counts accesses in [boundary - window, boundary), which
+//     depends only on the trace, never on which shard asks first.
+//   * the change callback mirrors PopularityBoard::subscribe: it fires for
+//     every program whose live count changes (only wired up in live/lag==0
+//     mode, matching the board).
+class ReplayCursor {
+ public:
+  using ChangeCallback = std::function<void(ProgramId)>;
+
+  explicit ReplayCursor(const ReplayBoard& board,
+                        ChangeCallback on_change = {});
+
+  void advance(sim::SimTime t, std::size_t upto);
+  // Count in the caller's own session start (the access at the current
+  // read position).  The caller names it so the cursor can check that the
+  // shard's replay and the prebuilt timeline agree.
+  void ingest_local(ProgramId program, sim::SimTime t);
+
+  [[nodiscard]] std::int64_t visible_count(ProgramId program) const;
+  // Incremented once per advance that crossed >= 1 batch boundary,
+  // mirroring the live board's lazily-published epochs.
+  [[nodiscard]] std::uint64_t snapshot_epoch() const { return epoch_; }
+  [[nodiscard]] const ReplayBoard& board() const { return *board_; }
+
+ private:
+  void publish_snapshots(sim::SimTime t);
+  void ingest_to(std::size_t upto);
+  void expire_to(sim::SimTime cutoff);
+  void notify(ProgramId program);
+
+  const ReplayBoard* board_;
+  ChangeCallback on_change_;
+  std::vector<std::int64_t> live_;
+  std::vector<std::int64_t> snapshot_;  // lag > 0 only
+  std::size_t ingest_ = 0;              // next access index to count in
+  std::size_t expire_ = 0;              // next access index to expire out
+  sim::SimTime next_batch_;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace vodcache::cache

@@ -42,6 +42,7 @@ void SystemConfig::validate() const {
   VODCACHE_EXPECTS(strategy.oracle_refresh > sim::SimTime{});
   VODCACHE_EXPECTS(strategy.global_lag >= sim::SimTime{});
   VODCACHE_EXPECTS(warmup >= sim::SimTime{});
+  VODCACHE_EXPECTS(threads >= 1);
   for (const auto& failure : peer_failures) {
     VODCACHE_EXPECTS(failure.fraction >= 0.0 && failure.fraction <= 1.0);
     VODCACHE_EXPECTS(failure.time >= sim::SimTime{});

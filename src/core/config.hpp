@@ -108,6 +108,12 @@ struct SystemConfig {
   // Coax plant parameters, for feasibility reporting (figure 14).
   hfc::CoaxSpec coax;
 
+  // Worker threads for the sharded replay (one shard per neighborhood).
+  // Purely an execution knob: every thread count produces a bit-identical
+  // report, so it never belongs in a result's provenance.  1 = run shards
+  // inline on the calling thread.
+  std::uint32_t threads = 1;
+
   // Total cache capacity of a (full) neighborhood.
   [[nodiscard]] DataSize neighborhood_cache_capacity() const {
     return per_peer_storage * neighborhood_size;

@@ -11,4 +11,10 @@ void MediaServer::serve(sim::Interval interval, DataRate rate) {
   bits_served_ += rate.bps() * interval.duration_seconds();
 }
 
+void MediaServer::merge(const MediaServer& other) {
+  meter_.merge(other.meter_);
+  transmissions_ += other.transmissions_;
+  bits_served_ += other.bits_served_;
+}
+
 }  // namespace vodcache::core

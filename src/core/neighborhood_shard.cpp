@@ -1,0 +1,167 @@
+#include "core/neighborhood_shard.hpp"
+
+#include <algorithm>
+
+#include "cache/global_lfu.hpp"
+#include "cache/lfu.hpp"
+#include "cache/lru.hpp"
+#include "cache/oracle.hpp"
+#include "util/assert.hpp"
+
+namespace vodcache::core {
+
+NeighborhoodShard::NeighborhoodShard(
+    NeighborhoodId id, std::uint32_t peer_count, const trace::Trace& trace,
+    const SystemConfig& config, std::vector<ShardSession> sessions,
+    cache::FutureIndex future, std::shared_ptr<const cache::ReplayBoard> board,
+    std::vector<PendingFailure> failures, sim::SimTime failure_flush)
+    : trace_(trace),
+      config_(config),
+      sessions_(std::move(sessions)),
+      future_(std::move(future)),
+      board_(std::move(board)),
+      media_(trace.horizon(), config.meter_bucket),
+      server_(id, peer_count, config, make_strategy(), media_,
+              trace.horizon()),
+      failures_(std::move(failures)),
+      failure_flush_(failure_flush) {}
+
+std::unique_ptr<cache::ReplacementStrategy> NeighborhoodShard::make_strategy() {
+  switch (config_.strategy.kind) {
+    case StrategyKind::None:
+      return nullptr;
+    case StrategyKind::Lru:
+      return std::make_unique<cache::LruStrategy>();
+    case StrategyKind::Lfu:
+      return std::make_unique<cache::LfuStrategy>(config_.strategy.lfu_history);
+    case StrategyKind::Oracle:
+      return std::make_unique<cache::OracleStrategy>(
+          future_, config_.strategy.oracle_lookahead,
+          config_.strategy.oracle_refresh);
+    case StrategyKind::GlobalLfu:
+      return std::make_unique<cache::GlobalLfuStrategy>(board_, &clock_);
+  }
+  VODCACHE_ASSERT(false);
+  return nullptr;
+}
+
+void NeighborhoodShard::apply_failures(sim::SimTime now) {
+  while (next_failure_ < failures_.size() &&
+         failures_[next_failure_].time <= now) {
+    for (const PeerId peer : failures_[next_failure_].peers) {
+      server_.fail_peer(peer);
+    }
+    ++next_failure_;
+  }
+}
+
+void NeighborhoodShard::advance_clock_to_boundary(sim::SimTime t) {
+  clock_.now = t;
+  // Only GlobalLFU reads the position; skip the global-trace scan for every
+  // other strategy so per-shard work stays proportional to the shard.
+  if (board_ == nullptr) return;
+  const auto& records = trace_.sessions();
+  while (record_scan_ < records.size() && records[record_scan_].start < t) {
+    ++record_scan_;
+  }
+  clock_.position = record_scan_;
+}
+
+void NeighborhoodShard::start_session(const ShardSession& shard_session) {
+  const auto& record = trace_.sessions()[shard_session.record];
+
+  ActiveSession session;
+  session.viewer = shard_session.viewer;
+  session.program = record.program;
+  session.start = record.start;
+  session.end = record.start + record.duration;
+  session.admit = server_.start_session(
+      record.program,
+      trace_.catalog().program_size(record.program, config_.stream_rate),
+      record.start);
+
+  server_.occupy_viewer_slot(session.viewer, {session.start, session.end});
+
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = session;
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(session);
+  }
+  play_segment(slot, record.start);
+}
+
+void NeighborhoodShard::play_segment(std::uint32_t slot, sim::SimTime at) {
+  const ActiveSession& session = slots_[slot];
+  VODCACHE_ASSERT(at < session.end);
+
+  const auto segment_ms = config_.segment_duration.millis_count();
+  const std::int64_t watched_ms = (at - session.start).millis_count();
+  const auto segment_index = static_cast<std::uint32_t>(watched_ms / segment_ms);
+
+  // The transmission runs until the next segment boundary or session end.
+  const sim::SimTime boundary =
+      session.start +
+      sim::SimTime::millis((static_cast<std::int64_t>(segment_index) + 1) *
+                           segment_ms);
+  const sim::SimTime tx_end = std::min(boundary, session.end);
+
+  // Nominal slice of this segment: 300 s, except a shorter final segment.
+  const sim::SimTime program_length = trace_.catalog().length(session.program);
+  const sim::SimTime nominal_end =
+      std::min(boundary, session.start + program_length);
+  const bool full_slice = tx_end >= nominal_end;
+
+  server_.serve_segment(session.viewer,
+                        cache::SegmentKey{session.program, segment_index},
+                        {at, tx_end}, session.admit, full_slice);
+
+  if (tx_end < session.end) {
+    boundaries_.push(tx_end, slot);
+  } else {
+    free_slots_.push_back(slot);
+  }
+}
+
+void NeighborhoodShard::run() {
+  VODCACHE_EXPECTS(!ran_);
+  ran_ = true;
+
+  const auto& records = trace_.sessions();
+  std::size_t next = 0;
+  // Merge this shard's (sorted) session list with its segment-boundary
+  // queue.  Boundaries go first on ties: a boundary event at time t
+  // completes a transmission in [.., t), so running it before a session
+  // that begins at t matches wall-clock causality (and keeps fills from
+  // "future" transmissions out of the picture).  Either order would be
+  // deterministic; this one is the seed's.
+  while (next < sessions_.size() || !boundaries_.empty()) {
+    const bool take_boundary =
+        !boundaries_.empty() &&
+        (next >= sessions_.size() ||
+         boundaries_.top().time <= records[sessions_[next].record].start);
+    if (take_boundary) {
+      const auto event = boundaries_.pop();
+      advance_clock_to_boundary(event.time);
+      apply_failures(event.time);
+      play_segment(event.payload, event.time);
+    } else {
+      const auto& shard_session = sessions_[next];
+      const auto& record = records[shard_session.record];
+      clock_.now = record.start;
+      clock_.position = shard_session.record;
+      apply_failures(record.start);
+      start_session(shard_session);
+      ++next;
+    }
+  }
+  // The serial engine applies a failure wave at the first event anywhere in
+  // the system at or after its time — including waves after this
+  // neighborhood's last own event.  Flush those now.
+  apply_failures(failure_flush_);
+}
+
+}  // namespace vodcache::core

@@ -1,0 +1,125 @@
+// NeighborhoodShard: one neighborhood's complete simulation stack — index
+// server, cache, session slots, segment-boundary queue, and a private
+// slice of the central media server — driving its own event loop over a
+// pre-partitioned per-neighborhood session list.
+//
+// The serial engine (the seed's VodSystem::run) merged the whole sorted
+// trace with one global boundary queue; but each neighborhood's state only
+// ever reacts to its own events, so replaying the per-neighborhood
+// subsequence in isolation performs the identical per-neighborhood event
+// sequence.  The two cross-shard couplings are decoupled up front:
+//
+//  * central-server bandwidth: each shard meters misses into its own
+//    MediaServer; the orchestrator reduces them in shard-index order;
+//  * global popularity (GlobalLFU): the shard's strategy reads an
+//    immutable trace-prebuilt ReplayBoard, paced by the shard's
+//    ReplayClock (see sim/replay_clock.hpp for the position contract).
+//
+// A shard touches no mutable state outside itself, so shards can run on
+// any thread, in any order, and produce bit-identical results.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/future_index.hpp"
+#include "cache/popularity_board.hpp"
+#include "core/config.hpp"
+#include "core/index_server.hpp"
+#include "core/media_server.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/replay_clock.hpp"
+#include "trace/trace.hpp"
+
+namespace vodcache::core {
+
+class NeighborhoodShard {
+ public:
+  // One of this shard's sessions: the record's index in the (global) trace
+  // plus the viewer's peer slot, resolved from the topology up front so
+  // the shard never needs the topology itself.
+  struct ShardSession {
+    std::uint32_t record = 0;
+    PeerId viewer;
+  };
+
+  // One failure wave's effect on this neighborhood, with the peer draws
+  // pre-rolled by the orchestrator (the seed's RNG stream runs across all
+  // neighborhoods in order, so the draws cannot be made shard-locally).
+  struct PendingFailure {
+    sim::SimTime time;
+    std::vector<PeerId> peers;
+  };
+
+  // `trace`, `config`, and `board` must outlive the shard.  `sessions`
+  // must be in trace order; `failures` in time order.  `failure_flush` is
+  // the time of the last event across the *whole* simulation: failures up
+  // to it are applied even after this shard's own events run out, exactly
+  // as the serial engine would have while other neighborhoods were still
+  // active (pass a negative time when the trace has no events at all).
+  NeighborhoodShard(NeighborhoodId id, std::uint32_t peer_count,
+                    const trace::Trace& trace, const SystemConfig& config,
+                    std::vector<ShardSession> sessions,
+                    cache::FutureIndex future,
+                    std::shared_ptr<const cache::ReplayBoard> board,
+                    std::vector<PendingFailure> failures,
+                    sim::SimTime failure_flush);
+
+  NeighborhoodShard(const NeighborhoodShard&) = delete;
+  NeighborhoodShard& operator=(const NeighborhoodShard&) = delete;
+
+  // Replays this shard's slice of the trace.  Single-shot.
+  void run();
+
+  [[nodiscard]] NeighborhoodId id() const { return server_.id(); }
+  [[nodiscard]] const IndexServer& index_server() const { return server_; }
+  [[nodiscard]] const MediaServer& media_server() const { return media_; }
+
+ private:
+  struct ActiveSession {
+    PeerId viewer;
+    ProgramId program;
+    sim::SimTime start;
+    sim::SimTime end;
+    bool admit = false;
+  };
+
+  void start_session(const ShardSession& shard_session);
+  // Plays the segment beginning at `at`; schedules the next boundary.
+  void play_segment(std::uint32_t slot, sim::SimTime at);
+  // Applies pre-rolled peer failures whose time has come (<= now).
+  void apply_failures(sim::SimTime now);
+  // Moves the replay clock to a boundary event at `t`: position = first
+  // trace record with start >= t (all earlier starts ran before us).
+  void advance_clock_to_boundary(sim::SimTime t);
+
+  [[nodiscard]] std::unique_ptr<cache::ReplacementStrategy> make_strategy();
+
+  const trace::Trace& trace_;
+  const SystemConfig& config_;
+  std::vector<ShardSession> sessions_;
+
+  // Strategy backing state; must precede server_ (make_strategy reads it).
+  cache::FutureIndex future_;                          // Oracle
+  std::shared_ptr<const cache::ReplayBoard> board_;    // GlobalLFU
+  sim::ReplayClock clock_;
+
+  MediaServer media_;
+  IndexServer server_;
+
+  // Session slot pool.
+  std::vector<ActiveSession> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  sim::EventQueue<std::uint32_t> boundaries_;
+
+  std::vector<PendingFailure> failures_;
+  std::size_t next_failure_ = 0;
+  sim::SimTime failure_flush_;
+  // Monotone scan for boundary-event clock positions.
+  std::size_t record_scan_ = 0;
+
+  bool ran_ = false;
+};
+
+}  // namespace vodcache::core

@@ -1,0 +1,253 @@
+#include "core/sharded_simulation.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "sim/peak_stats.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace vodcache::core {
+
+namespace {
+
+// Time of the last event the serial engine would process: the latest
+// segment-boundary event across all sessions (a session's boundaries fall
+// at start + k * segment for every k with k * segment < duration).
+// Failure waves up to this time are applied system-wide even in
+// neighborhoods whose own events end earlier; later waves never fire.
+// Negative when the trace is empty, so nothing flushes.
+sim::SimTime last_event_time(const trace::Trace& trace,
+                             sim::SimTime segment) {
+  const auto segment_ms = segment.millis_count();
+  sim::SimTime last = sim::SimTime::millis(-1);
+  for (const auto& record : trace.sessions()) {
+    const auto duration_ms = record.duration.millis_count();
+    const auto full_boundaries =
+        duration_ms > 0 ? (duration_ms - 1) / segment_ms : 0;
+    last = std::max(last, record.start +
+                              sim::SimTime::millis(full_boundaries *
+                                                   segment_ms));
+  }
+  return last;
+}
+
+}  // namespace
+
+ShardedSimulation::ShardedSimulation(const trace::Trace& trace,
+                                     SystemConfig config)
+    : trace_(trace),
+      config_(config),
+      topology_(hfc::Topology::build(trace.user_count(),
+                                     config.neighborhood_size)) {
+  config_.validate();
+  VODCACHE_EXPECTS(trace_.is_sorted());
+  build_shards();
+}
+
+void ShardedSimulation::build_shards() {
+  const auto neighborhoods = topology_.neighborhood_count();
+
+  // Partition the sorted trace into per-neighborhood session lists (each
+  // inherits trace order) and resolve each viewer's peer slot up front.
+  std::vector<std::vector<NeighborhoodShard::ShardSession>> sessions(
+      neighborhoods);
+  const auto& records = trace_.sessions();
+  for (std::uint32_t k = 0; k < records.size(); ++k) {
+    const auto& record = records[k];
+    sessions[topology_.neighborhood_of(record.user).value()].push_back(
+        {k, topology_.peer_of(record.user)});
+  }
+
+  // Oracle: each neighborhood's clairvoyance covers its own future only.
+  std::vector<cache::FutureIndex> future(neighborhoods);
+  if (config_.strategy.kind == StrategyKind::Oracle) {
+    for (std::uint32_t n = 0; n < neighborhoods; ++n) {
+      future[n] = cache::FutureIndex(trace_.catalog().size());
+      for (const auto& session : sessions[n]) {
+        future[n].add(records[session.record].program,
+                      records[session.record].start);
+      }
+      future[n].freeze();
+    }
+  }
+
+  // GlobalLFU: popularity is only ever recorded at session starts, which
+  // come straight from the sorted trace — so the whole system-wide access
+  // timeline is known before the run.  Prebuild it once; shards read it
+  // through private cursors without synchronization.
+  if (config_.strategy.kind == StrategyKind::GlobalLfu) {
+    auto board = std::make_shared<cache::ReplayBoard>(
+        trace_.catalog().size(), config_.strategy.lfu_history,
+        config_.strategy.global_lag);
+    for (const auto& record : records) {
+      board->add(record.program, record.start);
+    }
+    board->freeze();
+    board_ = std::move(board);
+  }
+
+  // Pre-roll failure draws.  The seed's RNG stream runs over neighborhoods
+  // in index order within one wave, so a neighborhood's draws depend on
+  // the sizes of every earlier neighborhood — they must be rolled here,
+  // serially, not inside the shards.
+  auto waves = config_.peer_failures;
+  std::stable_sort(waves.begin(), waves.end(),
+                   [](const auto& a, const auto& b) { return a.time < b.time; });
+  std::vector<std::vector<NeighborhoodShard::PendingFailure>> failures(
+      neighborhoods);
+  for (const auto& wave : waves) {
+    Rng rng(wave.seed);
+    for (std::uint32_t n = 0; n < neighborhoods; ++n) {
+      NeighborhoodShard::PendingFailure pending;
+      pending.time = wave.time;
+      const auto peers = topology_.size_of(NeighborhoodId{n});
+      for (std::uint32_t p = 0; p < peers; ++p) {
+        if (rng.bernoulli(wave.fraction)) pending.peers.push_back(PeerId{p});
+      }
+      failures[n].push_back(std::move(pending));
+    }
+  }
+
+  const sim::SimTime flush =
+      waves.empty() ? sim::SimTime::millis(-1)
+                    : last_event_time(trace_, config_.segment_duration);
+
+  shards_.reserve(neighborhoods);
+  for (std::uint32_t n = 0; n < neighborhoods; ++n) {
+    const NeighborhoodId id{n};
+    shards_.push_back(std::make_unique<NeighborhoodShard>(
+        id, topology_.size_of(id), trace_, config_, std::move(sessions[n]),
+        std::move(future[n]), board_, std::move(failures[n]), flush));
+  }
+}
+
+void ShardedSimulation::run_shards(std::uint32_t threads) {
+  const auto shard_count = shards_.size();
+  const auto workers = static_cast<std::size_t>(
+      std::min<std::uint64_t>(threads, shard_count ? shard_count : 1));
+  if (workers <= 1) {
+    for (auto& shard : shards_) shard->run();
+    return;
+  }
+
+  // Work-stealing by atomic counter: shard order of *execution* is
+  // nondeterministic, but shards share no mutable state and the merge
+  // below runs in index order, so the report cannot tell.
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  auto work = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= shard_count) return;
+      try {
+        shards_[i]->run();
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        next.store(shard_count, std::memory_order_relaxed);  // stop claiming
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(work);
+  work();
+  for (auto& thread : pool) thread.join();
+  if (error) std::rethrow_exception(error);
+}
+
+SimulationReport ShardedSimulation::run() {
+  VODCACHE_EXPECTS(!ran_);
+  ran_ = true;
+
+  run_shards(config_.threads);
+
+  // Reduce the per-shard central-server slices in neighborhood order —
+  // fixed order keeps the floating-point sums, and hence the report,
+  // bit-identical across thread counts.
+  MediaServer media(trace_.horizon(), config_.meter_bucket);
+  for (const auto& shard : shards_) media.merge(shard->media_server());
+  return build_report(media);
+}
+
+SimulationReport ShardedSimulation::build_report(
+    const MediaServer& media) const {
+  SimulationReport report;
+  report.strategy = config_.strategy.kind;
+  report.user_count = trace_.user_count();
+  report.neighborhood_count = topology_.neighborhood_count();
+
+  // Warmup exclusion, clamped so short demo runs still have samples.
+  const auto half_horizon =
+      sim::SimTime::millis(trace_.horizon().millis_count() / 2);
+  const sim::SimTime from = std::min(config_.warmup, half_horizon);
+  report.measured_from = from;
+
+  report.server_peak =
+      sim::peak_stats(media.meter(), config_.peak_window, from);
+  report.server_hourly = media.meter().hourly_profile(from);
+  // Meter totals (horizon-clipped) rather than raw counters, so the
+  // conservation identity coax == server + peer holds exactly even when a
+  // session straddles the end of the trace.
+  report.server_bits = media.meter().total_bits();
+
+  std::vector<double> pooled_coax;
+  report.neighborhoods.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    const IndexServer& server = shard->index_server();
+    NeighborhoodReport n;
+    n.peer_count = server.peer_count();
+    n.coax_peak =
+        sim::peak_stats(server.coax_meter(), config_.peak_window, from);
+    n.peer_peak =
+        sim::peak_stats(server.peer_meter(), config_.peak_window, from);
+    // Per-headend fiber feed = coax minus peer-served, bucket by bucket.
+    {
+      auto fiber =
+          server.coax_meter().window_samples_bps(config_.peak_window, from);
+      const auto peer_samples =
+          server.peer_meter().window_samples_bps(config_.peak_window, from);
+      VODCACHE_ASSERT(fiber.size() == peer_samples.size());
+      for (std::size_t i = 0; i < fiber.size(); ++i) {
+        fiber[i] -= peer_samples[i];
+      }
+      n.fiber_peak = sim::peak_stats(fiber);
+    }
+    const auto& c = server.counters();
+    n.sessions = c.sessions;
+    n.hits = c.hits;
+    n.cold_misses = c.cold_misses;
+    n.busy_misses = c.busy_misses;
+    n.cache_used = server.store().used();
+    n.cache_capacity = server.store().capacity();
+    report.neighborhoods.push_back(n);
+
+    report.sessions += c.sessions;
+    report.segments += c.segments;
+    report.hits += c.hits;
+    report.cold_misses += c.cold_misses;
+    report.busy_misses += c.busy_misses;
+    report.evictions += c.evictions;
+    report.fills += c.fills;
+    report.peer_failures += c.peer_failures;
+    report.wiped_bytes += c.wiped_bytes;
+    report.peer_bits += server.peer_meter().total_bits();
+    report.coax_bits += server.coax_meter().total_bits();
+
+    const auto samples =
+        server.coax_meter().window_samples_bps(config_.peak_window, from);
+    pooled_coax.insert(pooled_coax.end(), samples.begin(), samples.end());
+  }
+  report.coax_peak_pooled = sim::peak_stats(pooled_coax);
+  return report;
+}
+
+}  // namespace vodcache::core

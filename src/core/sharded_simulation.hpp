@@ -1,0 +1,55 @@
+// ShardedSimulation: partitions the trace by neighborhood, runs one
+// NeighborhoodShard per neighborhood across a worker pool, and merges the
+// per-shard results into one SimulationReport.
+//
+// Determinism contract: every shard's computation depends only on
+// immutable shared inputs (trace, config, topology partition, prebuilt
+// popularity timeline) and its own state, and the merge reduces shards in
+// neighborhood-index order.  The report is therefore bit-identical for
+// every thread count — `threads` is purely a wall-clock knob.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cache/popularity_board.hpp"
+#include "core/config.hpp"
+#include "core/media_server.hpp"
+#include "core/neighborhood_shard.hpp"
+#include "core/report.hpp"
+#include "hfc/topology.hpp"
+#include "trace/trace.hpp"
+
+namespace vodcache::core {
+
+class ShardedSimulation {
+ public:
+  // The trace must outlive the simulation.
+  ShardedSimulation(const trace::Trace& trace, SystemConfig config);
+
+  ShardedSimulation(const ShardedSimulation&) = delete;
+  ShardedSimulation& operator=(const ShardedSimulation&) = delete;
+
+  // Replays the whole trace (config.threads workers) and produces the
+  // report.  Single-shot.
+  [[nodiscard]] SimulationReport run();
+
+  [[nodiscard]] const hfc::Topology& topology() const { return topology_; }
+  [[nodiscard]] const SystemConfig& config() const { return config_; }
+
+ private:
+  void build_shards();
+  // Runs every shard to completion on `threads` workers (1 = inline).
+  void run_shards(std::uint32_t threads);
+  [[nodiscard]] SimulationReport build_report(const MediaServer& media) const;
+
+  const trace::Trace& trace_;
+  SystemConfig config_;
+  hfc::Topology topology_;
+  // GlobalLFU only: the immutable popularity timeline all shards read.
+  std::shared_ptr<const cache::ReplayBoard> board_;
+  std::vector<std::unique_ptr<NeighborhoodShard>> shards_;
+  bool ran_ = false;
+};
+
+}  // namespace vodcache::core

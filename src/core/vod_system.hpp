@@ -13,19 +13,18 @@
 // segment transmission runs at the 8.06 Mb/s playback rate for
 // min(300 s, remaining).  Session starts come straight from the (sorted)
 // trace; segment boundaries run through a deterministic event queue.
+//
+// The engine itself is sharded by neighborhood (see NeighborhoodShard and
+// ShardedSimulation): VodSystem is the stable facade.  With the default
+// config.threads == 1 the shards replay inline on the calling thread — the
+// serial path — and any higher thread count produces a bit-identical
+// report, just sooner.
 #pragma once
 
-#include <memory>
-#include <vector>
-
-#include "cache/future_index.hpp"
-#include "cache/popularity_board.hpp"
 #include "core/config.hpp"
-#include "core/index_server.hpp"
-#include "core/media_server.hpp"
 #include "core/report.hpp"
+#include "core/sharded_simulation.hpp"
 #include "hfc/topology.hpp"
-#include "sim/event_queue.hpp"
 #include "trace/trace.hpp"
 
 namespace vodcache::core {
@@ -33,58 +32,24 @@ namespace vodcache::core {
 class VodSystem {
  public:
   // The trace must outlive the system.
-  VodSystem(const trace::Trace& trace, SystemConfig config);
+  VodSystem(const trace::Trace& trace, SystemConfig config)
+      : simulation_(trace, config) {}
 
   VodSystem(const VodSystem&) = delete;
   VodSystem& operator=(const VodSystem&) = delete;
 
   // Replays the whole trace and produces the report.  Single-shot.
-  [[nodiscard]] SimulationReport run();
+  [[nodiscard]] SimulationReport run() { return simulation_.run(); }
 
-  [[nodiscard]] const hfc::Topology& topology() const { return topology_; }
-  [[nodiscard]] const SystemConfig& config() const { return config_; }
+  [[nodiscard]] const hfc::Topology& topology() const {
+    return simulation_.topology();
+  }
+  [[nodiscard]] const SystemConfig& config() const {
+    return simulation_.config();
+  }
 
  private:
-  struct ActiveSession {
-    NeighborhoodId neighborhood;
-    PeerId viewer;
-    ProgramId program;
-    sim::SimTime start;
-    sim::SimTime end;
-    bool admit = false;
-  };
-
-  void start_session(const trace::SessionRecord& record);
-  // Plays the segment beginning at `at`; schedules the next boundary.
-  void play_segment(std::uint32_t slot, sim::SimTime at);
-  // Applies configured peer failures whose time has come (clock <= now).
-  void apply_failures(sim::SimTime now);
-
-  [[nodiscard]] std::unique_ptr<cache::ReplacementStrategy> make_strategy(
-      NeighborhoodId neighborhood);
-  [[nodiscard]] SimulationReport build_report() const;
-
-  const trace::Trace& trace_;
-  SystemConfig config_;
-  hfc::Topology topology_;
-  MediaServer media_server_;
-  std::vector<std::unique_ptr<IndexServer>> index_servers_;
-
-  // Oracle support: per-neighborhood future access index.
-  std::vector<cache::FutureIndex> future_;
-  // GlobalLFU support: one shared popularity board.
-  std::shared_ptr<cache::PopularityBoard> board_;
-
-  // Session slot pool.
-  std::vector<ActiveSession> slots_;
-  std::vector<std::uint32_t> free_slots_;
-  sim::EventQueue<std::uint32_t> boundaries_;
-
-  // Failure injections, sorted by time; next_failure_ advances as applied.
-  std::vector<SystemConfig::PeerFailure> pending_failures_;
-  std::size_t next_failure_ = 0;
-
-  bool ran_ = false;
+  ShardedSimulation simulation_;
 };
 
 }  // namespace vodcache::core

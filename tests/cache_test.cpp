@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <vector>
 
 #include "cache/future_index.hpp"
 #include "cache/global_lfu.hpp"
@@ -11,6 +12,8 @@
 #include "cache/oracle.hpp"
 #include "cache/popularity_board.hpp"
 #include "cache/victim_index.hpp"
+#include "sim/replay_clock.hpp"
+#include "util/rng.hpp"
 
 namespace vodcache::cache {
 namespace {
@@ -416,6 +419,236 @@ TEST(GlobalLfu, NameReflectsLag) {
                                                   sim::SimTime::minutes(30));
   EXPECT_EQ(GlobalLfuStrategy(live).name(), "GlobalLFU");
   EXPECT_EQ(GlobalLfuStrategy(lagged).name(), "GlobalLFU(lagged)");
+}
+
+// ----------------------------------------------- ReplayBoard / ReplayCursor
+
+std::shared_ptr<const ReplayBoard> frozen_board(
+    std::size_t programs, sim::SimTime window, sim::SimTime lag,
+    const std::vector<ReplayBoard::Access>& accesses) {
+  auto board = std::make_shared<ReplayBoard>(programs, window, lag);
+  for (const auto& access : accesses) board->add(access.program, access.time);
+  board->freeze();
+  return board;
+}
+
+TEST(ReplayCursor, LiveCountsWithNoLag) {
+  const auto board = frozen_board(4, sim::SimTime::hours(1), sim::SimTime{},
+                                  {{at_min(0), ProgramId{1}},
+                                   {at_min(10), ProgramId{1}}});
+  ReplayCursor cursor(*board);
+  cursor.advance(at_min(20), 2);
+  EXPECT_EQ(cursor.visible_count(ProgramId{1}), 2);
+  // First access expires at t=60.
+  cursor.advance(at_min(61), 2);
+  EXPECT_EQ(cursor.visible_count(ProgramId{1}), 1);
+}
+
+TEST(ReplayCursor, VisibilityHonorsTracePosition) {
+  // Both accesses are at t=0, but only the first is before the reader's
+  // trace position — the cursor must not count records the serial engine
+  // would not yet have replayed.
+  const auto board = frozen_board(2, sim::SimTime::hours(1), sim::SimTime{},
+                                  {{at_min(0), ProgramId{1}},
+                                   {at_min(0), ProgramId{1}}});
+  ReplayCursor cursor(*board);
+  cursor.advance(at_min(0), 1);
+  EXPECT_EQ(cursor.visible_count(ProgramId{1}), 1);
+  cursor.advance(at_min(0), 2);
+  EXPECT_EQ(cursor.visible_count(ProgramId{1}), 2);
+}
+
+TEST(ReplayCursor, ChangeCallbackFiresOnIngestAndExpiry) {
+  const auto board = frozen_board(2, sim::SimTime::hours(1), sim::SimTime{},
+                                  {{at_min(0), ProgramId{0}}});
+  int changes = 0;
+  ReplayCursor cursor(*board, [&](ProgramId) { ++changes; });
+  cursor.advance(at_min(0), 1);
+  EXPECT_EQ(changes, 1);
+  // Expiry also fires.
+  cursor.advance(at_min(70), 1);
+  EXPECT_EQ(changes, 2);
+}
+
+TEST(ReplayCursor, LaggedCountsFreezeAtBatch) {
+  const auto board = frozen_board(2, sim::SimTime::hours(24),
+                                  /*lag=*/sim::SimTime::minutes(30),
+                                  {{at_min(5), ProgramId{0}},
+                                   {at_min(40), ProgramId{0}}});
+  ReplayCursor cursor(*board);
+  // Before the first batch boundary, the snapshot is empty.
+  cursor.advance(at_min(10), 1);
+  EXPECT_EQ(cursor.visible_count(ProgramId{0}), 0);
+  // After the 30-minute boundary the first access becomes visible.
+  cursor.advance(at_min(31), 1);
+  EXPECT_EQ(cursor.visible_count(ProgramId{0}), 1);
+  // The access at t=40 stays invisible until t=60.
+  cursor.advance(at_min(45), 2);
+  EXPECT_EQ(cursor.visible_count(ProgramId{0}), 1);
+  cursor.advance(at_min(61), 2);
+  EXPECT_EQ(cursor.visible_count(ProgramId{0}), 2);
+}
+
+TEST(ReplayCursor, SnapshotEpochAdvancesPerCrossing) {
+  const auto board = frozen_board(1, sim::SimTime::hours(24),
+                                  sim::SimTime::minutes(30), {});
+  ReplayCursor cursor(*board);
+  EXPECT_EQ(cursor.snapshot_epoch(), 0u);
+  cursor.advance(at_min(31), 0);
+  EXPECT_EQ(cursor.snapshot_epoch(), 1u);
+  // Crossing two boundaries in one advance publishes once, like the live
+  // board's lazy catch-up.
+  cursor.advance(at_min(95), 0);
+  EXPECT_EQ(cursor.snapshot_epoch(), 2u);
+}
+
+TEST(ReplayCursor, LaggedExpiryHonorsWindowAtBoundary) {
+  const std::vector<ReplayBoard::Access> accesses{{at_min(0), ProgramId{0}}};
+  {
+    const auto board = frozen_board(1, sim::SimTime::hours(1),
+                                    sim::SimTime::minutes(30), accesses);
+    ReplayCursor cursor(*board);
+    // At the t=90 boundary the access is 90 > 60 minutes old: expired.
+    cursor.advance(at_min(95), 1);
+    EXPECT_EQ(cursor.visible_count(ProgramId{0}), 0);
+  }
+  {
+    const auto board = frozen_board(1, sim::SimTime::hours(1),
+                                    sim::SimTime::minutes(30), accesses);
+    ReplayCursor cursor(*board);
+    // At the t=30 boundary it was visible.
+    cursor.advance(at_min(35), 1);
+    EXPECT_EQ(cursor.visible_count(ProgramId{0}), 1);
+  }
+}
+
+// Cross-validation of the replay cursor against the live board: any
+// non-decreasing access sequence, replayed through both, must show the
+// same visible counts at every step, live and lagged alike.
+TEST(ReplayCursor, MatchesLiveBoardOverRandomSequence) {
+  Rng rng(2026);
+  constexpr std::size_t kPrograms = 6;
+  std::vector<ReplayBoard::Access> accesses;
+  sim::SimTime t;
+  for (int i = 0; i < 300; ++i) {
+    t += sim::SimTime::seconds(static_cast<std::int64_t>(rng.uniform_u64(600)));
+    accesses.push_back(
+        {t, ProgramId{static_cast<std::uint32_t>(rng.uniform_u64(kPrograms))}});
+  }
+
+  for (const auto lag : {sim::SimTime{}, sim::SimTime::minutes(30)}) {
+    PopularityBoard live(kPrograms, sim::SimTime::hours(2), lag);
+    const auto replay = frozen_board(kPrograms, sim::SimTime::hours(2), lag,
+                                     accesses);
+    ReplayCursor cursor(*replay);
+    for (std::size_t i = 0; i < accesses.size(); ++i) {
+      live.record(accesses[i].program, accesses[i].time);
+      cursor.advance(accesses[i].time, i + 1);
+      for (std::uint32_t p = 0; p < kPrograms; ++p) {
+        ASSERT_EQ(cursor.visible_count(ProgramId{p}),
+                  live.visible_count(ProgramId{p}, accesses[i].time))
+            << "program " << p << " after access " << i << " (lag "
+            << lag.minutes_f() << "m)";
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------- GlobalLFU, replay
+
+TEST(GlobalLfuReplay, SeesAccessesFromOtherNeighborhoods) {
+  std::vector<ReplayBoard::Access> accesses;
+  for (int i = 0; i < 5; ++i) accesses.push_back({at_min(i), ProgramId{1}});
+  accesses.push_back({at_min(6), ProgramId{2}});
+  const auto board =
+      frozen_board(4, sim::SimTime::hours(24), sim::SimTime{}, accesses);
+
+  sim::ReplayClock clock_a, clock_b;
+  GlobalLfuStrategy a(board, &clock_a);
+  GlobalLfuStrategy b(board, &clock_b);
+
+  // Neighborhood A sees lots of program 1; B has never seen it locally.
+  for (std::size_t i = 0; i < 5; ++i) {
+    clock_a = {at_min(static_cast<std::int64_t>(i)), i};
+    a.record_access(ProgramId{1}, clock_a.now);
+  }
+  clock_b = {at_min(6), 5};
+  b.record_access(ProgramId{2}, at_min(6));
+  // B's scoring still ranks 1 above 2 thanks to global data.
+  clock_b = {at_min(7), 6};
+  EXPECT_GT(b.score(ProgramId{1}, at_min(7)), b.score(ProgramId{2}, at_min(7)));
+}
+
+TEST(GlobalLfuReplay, ReranksRemoteCachedPrograms) {
+  std::vector<ReplayBoard::Access> accesses{{at_min(0), ProgramId{1}},
+                                            {at_min(1), ProgramId{2}},
+                                            {at_min(1), ProgramId{2}}};
+  for (int i = 0; i < 4; ++i) accesses.push_back({at_min(3), ProgramId{1}});
+  const auto board =
+      frozen_board(4, sim::SimTime::hours(24), sim::SimTime{}, accesses);
+
+  sim::ReplayClock clock_a, clock_b;
+  GlobalLfuStrategy a(board, &clock_a);
+  GlobalLfuStrategy b(board, &clock_b);
+
+  clock_b = {at_min(0), 0};
+  b.record_access(ProgramId{1}, at_min(0));
+  b.on_admit(ProgramId{1}, at_min(0));
+  clock_b = {at_min(1), 1};
+  b.record_access(ProgramId{2}, at_min(1));
+  clock_b = {at_min(1), 2};
+  b.record_access(ProgramId{2}, at_min(1));
+  b.on_admit(ProgramId{2}, at_min(1));
+  clock_b = {at_min(2), 3};
+  EXPECT_EQ(b.victim(at_min(2)), ProgramId{1});
+
+  // A's traffic boosts program 1 globally; B's victim flips to 2 without B
+  // seeing any local access.
+  for (std::size_t i = 0; i < 4; ++i) {
+    clock_a = {at_min(3), 3 + i};
+    a.record_access(ProgramId{1}, at_min(3));
+  }
+  clock_b = {at_min(4), 7};
+  EXPECT_EQ(b.victim(at_min(4)), ProgramId{2});
+}
+
+TEST(GlobalLfuReplay, LaggedModeAugmentsSnapshotWithLocal) {
+  const auto board = frozen_board(4, sim::SimTime::hours(24),
+                                  /*lag=*/sim::SimTime::minutes(30),
+                                  {{at_min(1), ProgramId{1}},
+                                   {at_min(2), ProgramId{1}},
+                                   {at_min(3), ProgramId{2}}});
+
+  sim::ReplayClock clock_a, clock_b;
+  GlobalLfuStrategy a(board, &clock_a);
+  GlobalLfuStrategy b(board, &clock_b);
+
+  // Before any batch: A's local accesses count for A but not for B.
+  clock_a = {at_min(1), 0};
+  a.record_access(ProgramId{1}, at_min(1));
+  clock_a = {at_min(2), 1};
+  a.record_access(ProgramId{1}, at_min(2));
+  clock_b = {at_min(3), 2};
+  b.record_access(ProgramId{2}, at_min(3));
+
+  clock_a = {at_min(4), 3};
+  clock_b = {at_min(4), 3};
+  EXPECT_EQ(a.score(ProgramId{1}, at_min(4)).first, 2);
+  EXPECT_EQ(b.score(ProgramId{1}, at_min(4)).first, 0);
+  EXPECT_EQ(b.score(ProgramId{2}, at_min(4)).first, 1);
+
+  // After the batch, B sees A's traffic.
+  clock_b = {at_min(31), 3};
+  EXPECT_EQ(b.score(ProgramId{1}, at_min(31)).first, 2);
+}
+
+TEST(GlobalLfuReplay, NameReflectsLag) {
+  const auto live = frozen_board(1, sim::SimTime::hours(1), sim::SimTime{}, {});
+  const auto lagged =
+      frozen_board(1, sim::SimTime::hours(1), sim::SimTime::minutes(30), {});
+  sim::ReplayClock clock;
+  EXPECT_EQ(GlobalLfuStrategy(live, &clock).name(), "GlobalLFU");
+  EXPECT_EQ(GlobalLfuStrategy(lagged, &clock).name(), "GlobalLFU(lagged)");
 }
 
 }  // namespace

@@ -1,0 +1,155 @@
+// Sharded-execution determinism: the whole point of the per-neighborhood
+// shard architecture is that the thread count is invisible in the results.
+// These tests pin the strongest form of that claim — the serialized report
+// (full JSON, every neighborhood, every floating-point field) is
+// byte-identical across worker-pool sizes — for every strategy, and check
+// the cross-shard couplings that had to be decoupled to get there
+// (central-server metering, global popularity, failure waves).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/report_json.hpp"
+#include "core/vod_system.hpp"
+#include "test_support.hpp"
+#include "trace/generator.hpp"
+
+namespace vodcache::core {
+namespace {
+
+SystemConfig sharding_config(StrategyKind kind) {
+  SystemConfig config;
+  config.neighborhood_size = 40;  // 300 users -> 8 shards
+  config.per_peer_storage = DataSize::megabytes(400);
+  config.strategy.kind = kind;
+  config.strategy.lfu_history = sim::SimTime::hours(24);
+  config.warmup = sim::SimTime::days(1);
+  return config;
+}
+
+const trace::Trace& sharding_trace() {
+  static const trace::Trace trace = [] {
+    auto workload = test::small_workload(3, 777);
+    workload.user_count = 300;
+    workload.program_count = 80;
+    workload.sessions_per_user_per_day = 6.0;
+    return trace::generate_power_info_like(workload);
+  }();
+  return trace;
+}
+
+std::string run_json(const trace::Trace& trace, SystemConfig config,
+                     std::uint32_t threads) {
+  config.threads = threads;
+  VodSystem system(trace, config);
+  return to_json(system.run(), /*include_neighborhoods=*/true);
+}
+
+struct StrategyCase {
+  StrategyKind kind;
+  std::int64_t lag_minutes;
+  const char* name;
+};
+
+class ThreadCountInvariance : public ::testing::TestWithParam<StrategyCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, ThreadCountInvariance,
+    ::testing::Values(StrategyCase{StrategyKind::Lru, 0, "Lru"},
+                      StrategyCase{StrategyKind::Lfu, 0, "Lfu"},
+                      StrategyCase{StrategyKind::Oracle, 0, "Oracle"},
+                      StrategyCase{StrategyKind::GlobalLfu, 0, "GlobalLfu"},
+                      StrategyCase{StrategyKind::GlobalLfu, 30,
+                                   "GlobalLfuLagged"}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST_P(ThreadCountInvariance, ReportBytesIdenticalAcrossThreadCounts) {
+  auto config = sharding_config(GetParam().kind);
+  config.strategy.global_lag = sim::SimTime::minutes(GetParam().lag_minutes);
+
+  const auto serial = run_json(sharding_trace(), config, 1);
+  EXPECT_EQ(serial, run_json(sharding_trace(), config, 2));
+  EXPECT_EQ(serial, run_json(sharding_trace(), config, 8));
+}
+
+TEST(ThreadCountInvarianceExtras, SegmentAdmissionWithReplication) {
+  auto config = sharding_config(StrategyKind::Lfu);
+  config.admission = CacheAdmission::Segment;
+  config.replicate_on_busy = true;
+  const auto serial = run_json(sharding_trace(), config, 1);
+  EXPECT_EQ(serial, run_json(sharding_trace(), config, 8));
+}
+
+TEST(ThreadCountInvarianceExtras, MoreThreadsThanShards) {
+  auto config = sharding_config(StrategyKind::Lfu);
+  config.neighborhood_size = 200;  // 2 shards, 8 workers
+  const auto serial = run_json(sharding_trace(), config, 1);
+  EXPECT_EQ(serial, run_json(sharding_trace(), config, 8));
+}
+
+TEST(ThreadCountInvarianceExtras, FailureWavesAcrossShards) {
+  auto config = sharding_config(StrategyKind::Lfu);
+  config.peer_failures.push_back({sim::SimTime::hours(20), 0.4, 11});
+  config.peer_failures.push_back({sim::SimTime::hours(50), 0.3, 12});
+  const auto serial = run_json(sharding_trace(), config, 1);
+  EXPECT_EQ(serial, run_json(sharding_trace(), config, 2));
+  EXPECT_EQ(serial, run_json(sharding_trace(), config, 8));
+}
+
+// A failure wave after one neighborhood's last session but before another
+// neighborhood's: the serial engine still wipes the idle neighborhood
+// (some event system-wide is at or after the wave), so the shard must
+// flush it — at any thread count.
+TEST(FailureFlush, LateWaveHitsIdleNeighborhoods) {
+  // Users 0,1 -> neighborhood A; users 2,3 -> neighborhood B (the builder
+  // shuffles deterministically, so just make both neighborhoods active).
+  const auto trace = test::make_trace(
+      test::uniform_catalog(1, 10),
+      {{0, 0, 0, 600},
+       {0, 1, 0, 600},
+       {0, 2, 0, 600},
+       {40'000, 3, 0, 300}},  // only one neighborhood is active this late
+      /*user_count=*/4);
+  SystemConfig config;
+  config.neighborhood_size = 2;
+  config.per_peer_storage = DataSize::gigabytes(1);
+  config.strategy.kind = StrategyKind::Lru;
+  config.warmup = sim::SimTime{};
+  // Every peer everywhere fails at t=30000s, after both neighborhoods'
+  // early sessions end but before the straggler at t=40000s.
+  config.peer_failures.push_back({sim::SimTime::seconds(30'000), 1.0, 3});
+
+  for (const std::uint32_t threads : {1u, 2u}) {
+    config.threads = threads;
+    VodSystem system(trace, config);
+    const auto report = system.run();
+    // All four peers wiped, including the neighborhood with no events at or
+    // after the wave.
+    EXPECT_EQ(report.peer_failures, 4u) << threads << " threads";
+    EXPECT_GT(report.wiped_bytes, 0.0) << threads << " threads";
+  }
+}
+
+// A wave dated after the last event in the whole system never fires — the
+// serial engine has no event left to apply it at.
+TEST(FailureFlush, WaveAfterLastEventNeverFires) {
+  const auto trace = test::make_trace(test::uniform_catalog(1, 10),
+                                      {{0, 0, 0, 600}}, /*user_count=*/1);
+  SystemConfig config;
+  config.neighborhood_size = 1;
+  config.per_peer_storage = DataSize::gigabytes(1);
+  config.strategy.kind = StrategyKind::Lru;
+  config.warmup = sim::SimTime{};
+  // Last event is the 300 s segment boundary; the wave is later.
+  config.peer_failures.push_back({sim::SimTime::seconds(400), 1.0, 3});
+
+  for (const std::uint32_t threads : {1u, 2u}) {
+    config.threads = threads;
+    VodSystem system(trace, config);
+    const auto report = system.run();
+    EXPECT_EQ(report.peer_failures, 0u) << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace vodcache::core

@@ -22,6 +22,8 @@
 //   --lag-minutes N       global popularity batching lag      [0]
 //   --segment-admission   charge only stored bytes (ablation)
 //   --replicate           replicate stream-saturated segments
+//   --threads N           worker threads for the sharded replay;
+//                         the report is bit-identical for any N  [1]
 //   --warmup-days N       measurement warmup exclusion        [7]
 //   --fail T F            wipe fraction F of peers at hour T (repeatable)
 //   --json [FILE]         emit the full report as JSON
@@ -150,6 +152,9 @@ CliOptions parse(int argc, char** argv) {
       options.system.admission = core::CacheAdmission::Segment;
     } else if (arg == "--replicate") {
       options.system.replicate_on_busy = true;
+    } else if (arg == "--threads") {
+      options.system.threads = static_cast<std::uint32_t>(
+          parse_int(need_value(i), "--threads", 1, 4096));
     } else if (arg == "--warmup-days") {
       options.system.warmup = sim::SimTime::days(
           parse_int(need_value(i), "--warmup-days", 0, kMaxDays));
@@ -233,8 +238,9 @@ int cmd_run(const CliOptions& options) {
   std::cerr << "simulating " << core::to_string(options.system.strategy.kind)
             << " / " << options.system.neighborhood_size << " peers x "
             << options.system.per_peer_storage.as_gigabytes() << " GB ("
-            << core::to_string(options.system.admission) << " admission)"
-            << "...\n";
+            << core::to_string(options.system.admission) << " admission, "
+            << options.system.threads << " thread"
+            << (options.system.threads == 1 ? "" : "s") << ")...\n";
   core::VodSystem system(trace, options.system);
   const auto report = system.run();
 
