@@ -12,13 +12,17 @@
 // with the no-cache 1x-population load at 17 Gb/s.  Shape: linear in
 // population (fixed ~88% saving), diminishing degradation in catalog.
 //
-// Runtime scales with pop x days; the default (10 days) keeps the full 25-
-// cell sweep to a few minutes.  VODCACHE_DAYS raises fidelity toward the
+// Every cell streams: the generator is a lazy SessionSource and the
+// paper's section V-A transforms are O(1)-memory stream adaptors
+// (PopulationScaledSource / CatalogScaledSource), so the sweep's footprint
+// is the simulator state, not pop x cat copies of the trace.  Runtime
+// scales with pop x days; the default (10 days) keeps the full 25-cell
+// sweep to a few minutes.  VODCACHE_DAYS raises fidelity toward the
 // paper's 7-month steady state.
 //
 // Beyond the paper: this harness also owns the engine's own scaling story.
 // It replays the 1x workload at 1/2/4/8 worker threads, checks the reports
-// are byte-identical, and writes the wall-clock numbers to
+// are byte-identical, and writes wall-clock plus peak-RSS numbers to
 // BENCH_scaling.json (override the path with VODCACHE_SCALING_JSON).
 // VODCACHE_SCALING_ONLY=1 skips the 25-cell paper sweep for CI use.
 #include <chrono>
@@ -41,12 +45,15 @@ const double kPaperTable[5][5] = {{2.14, 5.07, 6.98, 8.23, 9.16},
                                   {8.45, 20.08, 27.71, 32.79, 36.49},
                                   {10.54, 25.11, 34.65, 41.01, 45.64}};
 
-// Thread-scaling sweep: wall clock per thread count, byte-identity check,
-// JSON emission.  Returns nonzero on a determinism violation.
-int run_thread_scaling(const trace::Trace& trace,
+// Thread-scaling sweep: wall clock and peak RSS per thread count,
+// byte-identity check, JSON emission.  Returns nonzero on a determinism
+// violation.  Peak RSS is the process high-water mark (monotone), so the
+// threads=1 sample is the informative one: every later run can only
+// confirm the ceiling was not raised.
+int run_thread_scaling(const trace::SessionSource& source,
                        const core::SystemConfig& base, int days) {
   bench::print_header(
-      "Engine scaling: sharded replay wall-clock at 1/2/4/8 threads",
+      "Engine scaling: streamed sharded replay wall-clock at 1/2/4/8 threads",
       "reports must be byte-identical; speedup bounded by cores/shards");
 
   const unsigned cores = std::thread::hardware_concurrency();
@@ -55,17 +62,19 @@ int run_thread_scaling(const trace::Trace& trace,
   struct Sample {
     int threads;
     double wall_ms;
+    long peak_rss_kb;
   };
   std::vector<Sample> samples;
   std::string reference_json;
   bool identical = true;
 
-  analysis::Table table({"threads", "wall s", "speedup", "identical"});
+  analysis::Table table(
+      {"threads", "wall s", "speedup", "peak RSS MB", "identical"});
   for (const int threads : {1, 2, 4, 8}) {
     auto config = base;
     config.threads = static_cast<std::uint32_t>(threads);
     const auto begin = std::chrono::steady_clock::now();
-    core::VodSystem system(trace, config);
+    core::VodSystem system(source, config);
     const auto report = system.run();
     const auto end = std::chrono::steady_clock::now();
     const double wall_ms =
@@ -77,10 +86,13 @@ int run_thread_scaling(const trace::Trace& trace,
     } else if (json != reference_json) {
       identical = false;
     }
-    samples.push_back({threads, wall_ms});
+    samples.push_back({threads, wall_ms, bench::peak_rss_kb()});
     table.add_row({std::to_string(threads),
                    analysis::Table::num(wall_ms / 1000.0, 2),
                    analysis::Table::num(samples.front().wall_ms / wall_ms, 2),
+                   analysis::Table::num(
+                       static_cast<double>(samples.back().peak_rss_kb) /
+                           1024.0, 0),
                    json == reference_json ? "yes" : "NO"});
   }
   table.print(std::cout);
@@ -93,15 +105,15 @@ int run_thread_scaling(const trace::Trace& trace,
     return 1;
   }
   out << "{\"bench\":\"fig15_thread_scaling\",\"days\":" << days
-      << ",\"users\":" << trace.user_count()
-      << ",\"sessions\":" << trace.session_count()
+      << ",\"users\":" << source.user_count()
       << ",\"hardware_concurrency\":" << cores
       << ",\"reports_identical\":" << (identical ? "true" : "false")
-      << ",\"runs\":[";
+      << ",\"peak_rss_kb\":" << bench::peak_rss_kb() << ",\"runs\":[";
   for (std::size_t i = 0; i < samples.size(); ++i) {
     out << (i ? "," : "") << "{\"threads\":" << samples[i].threads
         << ",\"wall_ms\":" << samples[i].wall_ms << ",\"speedup\":"
-        << samples.front().wall_ms / samples[i].wall_ms << '}';
+        << samples.front().wall_ms / samples[i].wall_ms
+        << ",\"peak_rss_kb\":" << samples[i].peak_rss_kb << '}';
   }
   out << "]}\n";
   std::cout << "wrote " << path << '\n';
@@ -120,8 +132,9 @@ int main() {
   const int max_factor = bench::env_int("VODCACHE_MAX_FACTOR", 5);
   const bool scaling_only = std::getenv("VODCACHE_SCALING_ONLY") != nullptr;
 
+  const trace::GeneratorSource base(bench::standard_workload(days));
+
   if (scaling_only) {
-    const auto base = bench::standard_trace(days);
     return run_thread_scaling(base, bench::standard_system(), days);
   }
   bench::print_header(
@@ -129,7 +142,6 @@ int main() {
       "neighborhood caches)",
       "linear in population, diminishing in catalog; see table in source");
 
-  const auto base = bench::standard_trace(days);
   auto config = bench::standard_system();
 
   const auto demand = analysis::demand_peak(base, config.stream_rate,
@@ -144,10 +156,12 @@ int main() {
   analysis::Table table({"population", "catalog", "Gb/s [q05, q95]",
                          "paper Gb/s", "x of paper"});
   for (int pop = 1; pop <= max_factor; ++pop) {
-    const auto pop_trace = trace::scale_population(base, pop);
+    const trace::PopulationScaledSource pop_source(
+        base, static_cast<std::uint32_t>(pop));
     for (int cat = 1; cat <= max_factor; ++cat) {
-      const auto trace = trace::scale_catalog(pop_trace, cat);
-      const auto report = bench::run_system(trace, config);
+      const trace::CatalogScaledSource source(
+          pop_source, static_cast<std::uint32_t>(cat));
+      const auto report = bench::run_system(source, config);
       measured[pop - 1][cat - 1] = report.server_peak.mean.gbps();
       const double paper = kPaperTable[pop - 1][cat - 1];
       table.add_row({std::to_string(pop) + "x", std::to_string(cat) + "x",

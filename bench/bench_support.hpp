@@ -13,10 +13,15 @@
 #include <iostream>
 #include <string>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "analysis/load_analysis.hpp"
 #include "analysis/table.hpp"
 #include "core/vod_system.hpp"
 #include "trace/generator.hpp"
+#include "trace/session_source.hpp"
 #include "util/parse.hpp"
 
 namespace vodcache::bench {
@@ -44,10 +49,21 @@ inline int workload_threads(int fallback = 1) {
 }
 
 // The full-scale PowerInfo-like workload (41,698 users, 8,278 programs).
-inline trace::Trace standard_trace(int days) {
+inline trace::GeneratorConfig standard_workload(int days) {
   trace::GeneratorConfig config;
   config.days = days;
-  return trace::generate_power_info_like(config);
+  return config;
+}
+
+inline trace::Trace standard_trace(int days) {
+  return trace::generate_power_info_like(standard_workload(days));
+}
+
+// The same workload as a lazy source (O(users-per-hour) memory; see
+// trace/session_source.hpp) — what the scaling sweeps stream from instead
+// of materializing n x copies of the trace.
+inline trace::GeneratorSource standard_source(int days) {
+  return trace::GeneratorSource(standard_workload(days));
 }
 
 // Default system config used by the paper unless a figure says otherwise:
@@ -67,6 +83,32 @@ inline core::SimulationReport run_system(const trace::Trace& trace,
       workload_threads(static_cast<int>(config.threads)));
   core::VodSystem system(trace, actual);
   return system.run();
+}
+
+inline core::SimulationReport run_system(const trace::SessionSource& source,
+                                         const core::SystemConfig& config) {
+  core::SystemConfig actual = config;
+  actual.threads = static_cast<std::uint32_t>(
+      workload_threads(static_cast<int>(config.threads)));
+  core::VodSystem system(source, actual);
+  return system.run();
+}
+
+// Process-lifetime peak resident set size in kilobytes (0 where the
+// platform has no getrusage).  Monotone by construction: it can only tell
+// you the high-water mark so far, not that a later phase used less.
+inline long peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<long>(usage.ru_maxrss / 1024);  // bytes on macOS
+#else
+  return static_cast<long>(usage.ru_maxrss);  // kilobytes on Linux
+#endif
+#else
+  return 0;
+#endif
 }
 
 inline void print_header(const std::string& title,

@@ -4,8 +4,16 @@ namespace vodcache::analysis {
 
 sim::RateMeter demand_meter(const trace::Trace& trace, DataRate rate,
                             sim::SimTime bucket) {
-  sim::RateMeter meter(trace.horizon(), bucket);
-  for (const auto& s : trace.sessions()) {
+  const trace::TraceSource source(trace);
+  return demand_meter(source, rate, bucket);
+}
+
+sim::RateMeter demand_meter(const trace::SessionSource& source, DataRate rate,
+                            sim::SimTime bucket) {
+  sim::RateMeter meter(source.horizon(), bucket);
+  auto stream = source.open();
+  trace::SessionRecord s;
+  while (stream->next(s)) {
     meter.add({s.start, s.start + s.duration}, rate);
   }
   return meter;
@@ -16,11 +24,22 @@ std::vector<DataRate> demand_hourly_profile(const trace::Trace& trace,
   return demand_meter(trace, rate).hourly_profile();
 }
 
+std::vector<DataRate> demand_hourly_profile(const trace::SessionSource& source,
+                                            DataRate rate) {
+  return demand_meter(source, rate).hourly_profile();
+}
+
 sim::PeakStats demand_peak(const trace::Trace& trace, DataRate rate,
                            sim::HourWindow window, sim::SimTime from) {
+  const trace::TraceSource source(trace);
+  return demand_peak(source, rate, window, from);
+}
+
+sim::PeakStats demand_peak(const trace::SessionSource& source, DataRate rate,
+                           sim::HourWindow window, sim::SimTime from) {
   const auto half_horizon =
-      sim::SimTime::millis(trace.horizon().millis_count() / 2);
-  return sim::peak_stats(demand_meter(trace, rate), window,
+      sim::SimTime::millis(source.horizon().millis_count() / 2);
+  return sim::peak_stats(demand_meter(source, rate), window,
                          std::min(from, half_horizon));
 }
 

@@ -7,6 +7,7 @@
 
 #include "sim/peak_stats.hpp"
 #include "sim/rate_meter.hpp"
+#include "trace/session_source.hpp"
 #include "trace/trace.hpp"
 
 namespace vodcache::analysis {
@@ -17,14 +18,26 @@ namespace vodcache::analysis {
     const trace::Trace& trace, DataRate rate,
     sim::SimTime bucket = sim::SimTime::minutes(15));
 
+// Streaming form: meters the source's sessions in one pass (the meter is
+// O(horizon / bucket); only the cursor's state is live).  Identical output
+// to metering the materialized trace.
+[[nodiscard]] sim::RateMeter demand_meter(
+    const trace::SessionSource& source, DataRate rate,
+    sim::SimTime bucket = sim::SimTime::minutes(15));
+
 // Mean demand per hour of day (figure 7's curve).
 [[nodiscard]] std::vector<DataRate> demand_hourly_profile(
     const trace::Trace& trace, DataRate rate);
+[[nodiscard]] std::vector<DataRate> demand_hourly_profile(
+    const trace::SessionSource& source, DataRate rate);
 
 // Peak-window demand statistics (the "no cache" 17 Gb/s line).  `from`
 // restricts measurement to buckets at or after that time, mirroring the
 // cached runs' warmup exclusion; it is clamped to half the horizon.
 [[nodiscard]] sim::PeakStats demand_peak(const trace::Trace& trace,
+                                         DataRate rate, sim::HourWindow window,
+                                         sim::SimTime from = sim::SimTime{});
+[[nodiscard]] sim::PeakStats demand_peak(const trace::SessionSource& source,
                                          DataRate rate, sim::HourWindow window,
                                          sim::SimTime from = sim::SimTime{});
 

@@ -103,6 +103,21 @@ class ReplayBoard {
   void add(ProgramId program, sim::SimTime t);
   void freeze();
 
+  // Sizing hint for streaming construction (one reallocation instead of
+  // log n when the session count is known up front).
+  void reserve(std::size_t count) { accesses_.reserve(count); }
+
+  // Index of the first access with time >= t, scanning forward from `from`
+  // (which must be at or before that index).  Because the timeline is
+  // exactly the trace's session sequence, this doubles as the serial
+  // engine's replay position at a boundary event at time t — each shard
+  // advances its own monotone cursor through it.
+  [[nodiscard]] std::size_t position_at(sim::SimTime t,
+                                        std::size_t from) const {
+    while (from < accesses_.size() && accesses_[from].time < t) ++from;
+    return from;
+  }
+
   [[nodiscard]] const std::vector<Access>& accesses() const {
     return accesses_;
   }

@@ -43,6 +43,7 @@ void SystemConfig::validate() const {
   VODCACHE_EXPECTS(strategy.global_lag >= sim::SimTime{});
   VODCACHE_EXPECTS(warmup >= sim::SimTime{});
   VODCACHE_EXPECTS(threads >= 1);
+  VODCACHE_EXPECTS(stream_chunk > sim::SimTime{});
   for (const auto& failure : peer_failures) {
     VODCACHE_EXPECTS(failure.fraction >= 0.0 && failure.fraction <= 1.0);
     VODCACHE_EXPECTS(failure.time >= sim::SimTime{});

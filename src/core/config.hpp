@@ -114,6 +114,16 @@ struct SystemConfig {
   // inline on the calling thread.
   std::uint32_t threads = 1;
 
+  // Streaming demux granularity: the session stream is pulled into
+  // per-neighborhood batches one time-chunk at a time, and the shards
+  // replay each chunk on the worker pool before the next is pulled.  Peak
+  // memory scales with sessions per chunk; smaller chunks mean more
+  // synchronization barriers.  Like `threads`, purely an execution knob —
+  // the chunk boundary is invisible to every shard's event sequence, so
+  // any value produces a bit-identical report (pinned in
+  // tests/session_source_test.cpp).
+  sim::SimTime stream_chunk = sim::SimTime::hours(1);
+
   // Total cache capacity of a (full) neighborhood.
   [[nodiscard]] DataSize neighborhood_cache_capacity() const {
     return per_peer_storage * neighborhood_size;

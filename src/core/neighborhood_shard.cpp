@@ -11,18 +11,16 @@
 namespace vodcache::core {
 
 NeighborhoodShard::NeighborhoodShard(
-    NeighborhoodId id, std::uint32_t peer_count, const trace::Trace& trace,
-    const SystemConfig& config, std::vector<ShardSession> sessions,
+    NeighborhoodId id, std::uint32_t peer_count, const trace::Catalog& catalog,
+    sim::SimTime horizon, const SystemConfig& config,
     cache::FutureIndex future, std::shared_ptr<const cache::ReplayBoard> board,
     std::vector<PendingFailure> failures, sim::SimTime failure_flush)
-    : trace_(trace),
+    : catalog_(catalog),
       config_(config),
-      sessions_(std::move(sessions)),
       future_(std::move(future)),
       board_(std::move(board)),
-      media_(trace.horizon(), config.meter_bucket),
-      server_(id, peer_count, config, make_strategy(), media_,
-              trace.horizon()),
+      media_(horizon, config.meter_bucket),
+      server_(id, peer_count, config, make_strategy(), media_, horizon),
       failures_(std::move(failures)),
       failure_flush_(failure_flush) {}
 
@@ -57,27 +55,24 @@ void NeighborhoodShard::apply_failures(sim::SimTime now) {
 
 void NeighborhoodShard::advance_clock_to_boundary(sim::SimTime t) {
   clock_.now = t;
-  // Only GlobalLFU reads the position; skip the global-trace scan for every
+  // Only GlobalLFU reads the position; skip the timeline scan for every
   // other strategy so per-shard work stays proportional to the shard.
   if (board_ == nullptr) return;
-  const auto& records = trace_.sessions();
-  while (record_scan_ < records.size() && records[record_scan_].start < t) {
-    ++record_scan_;
-  }
+  record_scan_ = board_->position_at(t, record_scan_);
   clock_.position = record_scan_;
 }
 
-void NeighborhoodShard::start_session(const ShardSession& shard_session) {
-  const auto& record = trace_.sessions()[shard_session.record];
+void NeighborhoodShard::start_session(const StreamSession& stream_session) {
+  const auto& record = stream_session.record;
 
   ActiveSession session;
-  session.viewer = shard_session.viewer;
+  session.viewer = stream_session.viewer;
   session.program = record.program;
   session.start = record.start;
   session.end = record.start + record.duration;
   session.admit = server_.start_session(
       record.program,
-      trace_.catalog().program_size(record.program, config_.stream_rate),
+      catalog_.program_size(record.program, config_.stream_rate),
       record.start);
 
   server_.occupy_viewer_slot(session.viewer, {session.start, session.end});
@@ -110,7 +105,7 @@ void NeighborhoodShard::play_segment(std::uint32_t slot, sim::SimTime at) {
   const sim::SimTime tx_end = std::min(boundary, session.end);
 
   // Nominal slice of this segment: 300 s, except a shorter final segment.
-  const sim::SimTime program_length = trace_.catalog().length(session.program);
+  const sim::SimTime program_length = catalog_.length(session.program);
   const sim::SimTime nominal_end =
       std::min(boundary, session.start + program_length);
   const bool full_slice = tx_end >= nominal_end;
@@ -126,37 +121,42 @@ void NeighborhoodShard::play_segment(std::uint32_t slot, sim::SimTime at) {
   }
 }
 
-void NeighborhoodShard::run() {
-  VODCACHE_EXPECTS(!ran_);
-  ran_ = true;
+void NeighborhoodShard::feed(std::span<const StreamSession> batch) {
+  VODCACHE_EXPECTS(!finished_);
 
-  const auto& records = trace_.sessions();
-  std::size_t next = 0;
-  // Merge this shard's (sorted) session list with its segment-boundary
-  // queue.  Boundaries go first on ties: a boundary event at time t
-  // completes a transmission in [.., t), so running it before a session
-  // that begins at t matches wall-clock causality (and keeps fills from
-  // "future" transmissions out of the picture).  Either order would be
-  // deterministic; this one is the seed's.
-  while (next < sessions_.size() || !boundaries_.empty()) {
-    const bool take_boundary =
-        !boundaries_.empty() &&
-        (next >= sessions_.size() ||
-         boundaries_.top().time <= records[sessions_[next].record].start);
-    if (take_boundary) {
+  // Merge this batch of (sorted) sessions with the segment-boundary queue.
+  // Boundaries go first on ties: a boundary event at time t completes a
+  // transmission in [.., t), so running it before a session that begins at
+  // t matches wall-clock causality (and keeps fills from "future"
+  // transmissions out of the picture).  Either order would be
+  // deterministic; this one is the seed's.  The rule only ever compares a
+  // boundary against the *next pending* session, so cutting the session
+  // sequence into batches cannot change the merged order — a boundary past
+  // the batch simply stays queued until the session after the cut arrives.
+  for (const auto& stream_session : batch) {
+    const auto start = stream_session.record.start;
+    while (!boundaries_.empty() && boundaries_.top().time <= start) {
       const auto event = boundaries_.pop();
       advance_clock_to_boundary(event.time);
       apply_failures(event.time);
       play_segment(event.payload, event.time);
-    } else {
-      const auto& shard_session = sessions_[next];
-      const auto& record = records[shard_session.record];
-      clock_.now = record.start;
-      clock_.position = shard_session.record;
-      apply_failures(record.start);
-      start_session(shard_session);
-      ++next;
     }
+    clock_.now = start;
+    clock_.position = static_cast<std::size_t>(stream_session.index);
+    apply_failures(start);
+    start_session(stream_session);
+  }
+}
+
+void NeighborhoodShard::finish() {
+  VODCACHE_EXPECTS(!finished_);
+  finished_ = true;
+
+  while (!boundaries_.empty()) {
+    const auto event = boundaries_.pop();
+    advance_clock_to_boundary(event.time);
+    apply_failures(event.time);
+    play_segment(event.payload, event.time);
   }
   // The serial engine applies a failure wave at the first event anywhere in
   // the system at or after its time — including waves after this

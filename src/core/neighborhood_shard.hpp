@@ -1,19 +1,27 @@
 // NeighborhoodShard: one neighborhood's complete simulation stack — index
 // server, cache, session slots, segment-boundary queue, and a private
-// slice of the central media server — driving its own event loop over a
-// pre-partitioned per-neighborhood session list.
+// slice of the central media server — consuming its neighborhood's session
+// stream incrementally.
 //
 // The serial engine (the seed's VodSystem::run) merged the whole sorted
 // trace with one global boundary queue; but each neighborhood's state only
 // ever reacts to its own events, so replaying the per-neighborhood
 // subsequence in isolation performs the identical per-neighborhood event
-// sequence.  The two cross-shard couplings are decoupled up front:
+// sequence.  Sessions arrive through feed() in batches (the orchestrator's
+// streaming demux hands each shard its slice of one time chunk at a time);
+// how the subsequence is split into batches is invisible to the event
+// order, because the shard merges sessions against its boundary queue with
+// the same tie rule regardless of where a batch ends, and boundaries past
+// the last-fed session simply wait for the next batch (or finish()).
+//
+// The two cross-shard couplings are decoupled up front:
 //
 //  * central-server bandwidth: each shard meters misses into its own
 //    MediaServer; the orchestrator reduces them in shard-index order;
 //  * global popularity (GlobalLFU): the shard's strategy reads an
-//    immutable trace-prebuilt ReplayBoard, paced by the shard's
-//    ReplayClock (see sim/replay_clock.hpp for the position contract).
+//    immutable ReplayBoard prebuilt from a streaming pass over the same
+//    session source, paced by the shard's ReplayClock (see
+//    sim/replay_clock.hpp for the position contract).
 //
 // A shard touches no mutable state outside itself, so shards can run on
 // any thread, in any order, and produce bit-identical results.
@@ -21,6 +29,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "cache/future_index.hpp"
@@ -30,17 +39,21 @@
 #include "core/media_server.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/replay_clock.hpp"
+#include "trace/catalog.hpp"
 #include "trace/trace.hpp"
 
 namespace vodcache::core {
 
 class NeighborhoodShard {
  public:
-  // One of this shard's sessions: the record's index in the (global) trace
-  // plus the viewer's peer slot, resolved from the topology up front so
-  // the shard never needs the topology itself.
-  struct ShardSession {
-    std::uint32_t record = 0;
+  // One of this shard's sessions as delivered by the streaming demux: the
+  // record itself (by value — there is no global session vector to point
+  // into), its position in the global sorted sequence (the replay clock's
+  // currency), and the viewer's peer slot, resolved from the topology up
+  // front so the shard never needs the topology itself.
+  struct StreamSession {
+    trace::SessionRecord record;
+    std::uint64_t index = 0;
     PeerId viewer;
   };
 
@@ -52,16 +65,15 @@ class NeighborhoodShard {
     std::vector<PeerId> peers;
   };
 
-  // `trace`, `config`, and `board` must outlive the shard.  `sessions`
-  // must be in trace order; `failures` in time order.  `failure_flush` is
-  // the time of the last event across the *whole* simulation: failures up
-  // to it are applied even after this shard's own events run out, exactly
-  // as the serial engine would have while other neighborhoods were still
-  // active (pass a negative time when the trace has no events at all).
+  // `catalog`, `config`, and `board` must outlive the shard.  `failures`
+  // must be in time order.  `failure_flush` is the time of the last event
+  // across the *whole* simulation: failures up to it are applied even
+  // after this shard's own events run out, exactly as the serial engine
+  // would have while other neighborhoods were still active (pass a
+  // negative time when the trace has no events at all).
   NeighborhoodShard(NeighborhoodId id, std::uint32_t peer_count,
-                    const trace::Trace& trace, const SystemConfig& config,
-                    std::vector<ShardSession> sessions,
-                    cache::FutureIndex future,
+                    const trace::Catalog& catalog, sim::SimTime horizon,
+                    const SystemConfig& config, cache::FutureIndex future,
                     std::shared_ptr<const cache::ReplayBoard> board,
                     std::vector<PendingFailure> failures,
                     sim::SimTime failure_flush);
@@ -69,8 +81,15 @@ class NeighborhoodShard {
   NeighborhoodShard(const NeighborhoodShard&) = delete;
   NeighborhoodShard& operator=(const NeighborhoodShard&) = delete;
 
-  // Replays this shard's slice of the trace.  Single-shot.
-  void run();
+  // Replays one batch of this shard's sessions (trace order, starts no
+  // earlier than anything previously fed).  The batch is fully consumed;
+  // segment boundaries falling after its last session stay queued for the
+  // next feed() or finish().
+  void feed(std::span<const StreamSession> batch);
+
+  // Drains the boundary queue and applies trailing failure waves.  Must be
+  // called exactly once, after the last feed().
+  void finish();
 
   [[nodiscard]] NeighborhoodId id() const { return server_.id(); }
   [[nodiscard]] const IndexServer& index_server() const { return server_; }
@@ -85,7 +104,7 @@ class NeighborhoodShard {
     bool admit = false;
   };
 
-  void start_session(const ShardSession& shard_session);
+  void start_session(const StreamSession& session);
   // Plays the segment beginning at `at`; schedules the next boundary.
   void play_segment(std::uint32_t slot, sim::SimTime at);
   // Applies pre-rolled peer failures whose time has come (<= now).
@@ -96,9 +115,8 @@ class NeighborhoodShard {
 
   [[nodiscard]] std::unique_ptr<cache::ReplacementStrategy> make_strategy();
 
-  const trace::Trace& trace_;
+  const trace::Catalog& catalog_;
   const SystemConfig& config_;
-  std::vector<ShardSession> sessions_;
 
   // Strategy backing state; must precede server_ (make_strategy reads it).
   cache::FutureIndex future_;                          // Oracle
@@ -116,10 +134,12 @@ class NeighborhoodShard {
   std::vector<PendingFailure> failures_;
   std::size_t next_failure_ = 0;
   sim::SimTime failure_flush_;
-  // Monotone scan for boundary-event clock positions.
+  // Monotone scan position for boundary-event replay-clock updates
+  // (GlobalLFU only; indexes the board's access timeline, which is the
+  // global session sequence).
   std::size_t record_scan_ = 0;
 
-  bool ran_ = false;
+  bool finished_ = false;
 };
 
 }  // namespace vodcache::core

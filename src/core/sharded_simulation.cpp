@@ -13,83 +13,98 @@
 
 namespace vodcache::core {
 
-namespace {
-
-// Time of the last event the serial engine would process: the latest
-// segment-boundary event across all sessions (a session's boundaries fall
-// at start + k * segment for every k with k * segment < duration).
-// Failure waves up to this time are applied system-wide even in
-// neighborhoods whose own events end earlier; later waves never fire.
-// Negative when the trace is empty, so nothing flushes.
-sim::SimTime last_event_time(const trace::Trace& trace,
-                             sim::SimTime segment) {
-  const auto segment_ms = segment.millis_count();
-  sim::SimTime last = sim::SimTime::millis(-1);
-  for (const auto& record : trace.sessions()) {
-    const auto duration_ms = record.duration.millis_count();
-    const auto full_boundaries =
-        duration_ms > 0 ? (duration_ms - 1) / segment_ms : 0;
-    last = std::max(last, record.start +
-                              sim::SimTime::millis(full_boundaries *
-                                                   segment_ms));
-  }
-  return last;
+ShardedSimulation::ShardedSimulation(const trace::SessionSource& source,
+                                     SystemConfig config)
+    : source_(&source),
+      config_(config),
+      topology_(hfc::Topology::build(source.user_count(),
+                                     config.neighborhood_size)) {
+  config_.validate();
+  prepass();
+  build_shards();
 }
-
-}  // namespace
 
 ShardedSimulation::ShardedSimulation(const trace::Trace& trace,
                                      SystemConfig config)
-    : trace_(trace),
+    : owned_source_(std::make_unique<trace::TraceSource>(trace)),
+      source_(owned_source_.get()),
       config_(config),
       topology_(hfc::Topology::build(trace.user_count(),
                                      config.neighborhood_size)) {
   config_.validate();
-  VODCACHE_EXPECTS(trace_.is_sorted());
+  prepass();
   build_shards();
+}
+
+void ShardedSimulation::prepass() {
+  // Each requirement below needs whole-trace knowledge before the replay;
+  // everything else streams in a single pass (stream_shards).
+  const bool need_board = config_.strategy.kind == StrategyKind::GlobalLfu;
+  const bool need_future = config_.strategy.kind == StrategyKind::Oracle;
+  const bool need_flush = !config_.peer_failures.empty();
+  if (!need_board && !need_future && !need_flush) return;
+
+  const auto neighborhoods = topology_.neighborhood_count();
+
+  // GlobalLFU: popularity is only ever recorded at session starts, which
+  // come straight from the sorted stream — so the whole system-wide access
+  // timeline is known before the run.  Prebuild it once; shards read it
+  // through private cursors without synchronization.
+  std::shared_ptr<cache::ReplayBoard> board;
+  if (need_board) {
+    board = std::make_shared<cache::ReplayBoard>(
+        source_->catalog().size(), config_.strategy.lfu_history,
+        config_.strategy.global_lag);
+    if (const auto hint = source_->session_count_hint(); hint > 0) {
+      board->reserve(static_cast<std::size_t>(hint));
+    }
+  }
+
+  // Oracle: each neighborhood's clairvoyance covers its own future only.
+  if (need_future) {
+    future_.resize(neighborhoods);
+    for (auto& index : future_) {
+      index = cache::FutureIndex(source_->catalog().size());
+    }
+  }
+
+  // Failure flush: the time of the last event the serial engine would
+  // process — the latest segment-boundary event across all sessions (a
+  // session's boundaries fall at start + k * segment for every k with
+  // k * segment < duration).  Failure waves up to this time are applied
+  // system-wide even in neighborhoods whose own events end earlier; later
+  // waves never fire.  Stays negative when the trace is empty, so nothing
+  // flushes.
+  const auto segment_ms = config_.segment_duration.millis_count();
+
+  auto stream = source_->open();
+  trace::SessionRecord record;
+  while (stream->next(record)) {
+    if (board) board->add(record.program, record.start);
+    if (need_future) {
+      future_[topology_.neighborhood_of(record.user).value()].add(
+          record.program, record.start);
+    }
+    if (need_flush) {
+      const auto duration_ms = record.duration.millis_count();
+      const auto full_boundaries =
+          duration_ms > 0 ? (duration_ms - 1) / segment_ms : 0;
+      failure_flush_ =
+          std::max(failure_flush_,
+                   record.start +
+                       sim::SimTime::millis(full_boundaries * segment_ms));
+    }
+  }
+
+  if (board) {
+    board->freeze();
+    board_ = std::move(board);
+  }
+  for (auto& index : future_) index.freeze();
 }
 
 void ShardedSimulation::build_shards() {
   const auto neighborhoods = topology_.neighborhood_count();
-
-  // Partition the sorted trace into per-neighborhood session lists (each
-  // inherits trace order) and resolve each viewer's peer slot up front.
-  std::vector<std::vector<NeighborhoodShard::ShardSession>> sessions(
-      neighborhoods);
-  const auto& records = trace_.sessions();
-  for (std::uint32_t k = 0; k < records.size(); ++k) {
-    const auto& record = records[k];
-    sessions[topology_.neighborhood_of(record.user).value()].push_back(
-        {k, topology_.peer_of(record.user)});
-  }
-
-  // Oracle: each neighborhood's clairvoyance covers its own future only.
-  std::vector<cache::FutureIndex> future(neighborhoods);
-  if (config_.strategy.kind == StrategyKind::Oracle) {
-    for (std::uint32_t n = 0; n < neighborhoods; ++n) {
-      future[n] = cache::FutureIndex(trace_.catalog().size());
-      for (const auto& session : sessions[n]) {
-        future[n].add(records[session.record].program,
-                      records[session.record].start);
-      }
-      future[n].freeze();
-    }
-  }
-
-  // GlobalLFU: popularity is only ever recorded at session starts, which
-  // come straight from the sorted trace — so the whole system-wide access
-  // timeline is known before the run.  Prebuild it once; shards read it
-  // through private cursors without synchronization.
-  if (config_.strategy.kind == StrategyKind::GlobalLfu) {
-    auto board = std::make_shared<cache::ReplayBoard>(
-        trace_.catalog().size(), config_.strategy.lfu_history,
-        config_.strategy.global_lag);
-    for (const auto& record : records) {
-      board->add(record.program, record.start);
-    }
-    board->freeze();
-    board_ = std::move(board);
-  }
 
   // Pre-roll failure draws.  The seed's RNG stream runs over neighborhoods
   // in index order within one wave, so a neighborhood's draws depend on
@@ -113,44 +128,50 @@ void ShardedSimulation::build_shards() {
     }
   }
 
-  const sim::SimTime flush =
-      waves.empty() ? sim::SimTime::millis(-1)
-                    : last_event_time(trace_, config_.segment_duration);
-
   shards_.reserve(neighborhoods);
   for (std::uint32_t n = 0; n < neighborhoods; ++n) {
     const NeighborhoodId id{n};
     shards_.push_back(std::make_unique<NeighborhoodShard>(
-        id, topology_.size_of(id), trace_, config_, std::move(sessions[n]),
-        std::move(future[n]), board_, std::move(failures[n]), flush));
+        id, topology_.size_of(id), source_->catalog(), source_->horizon(),
+        config_, n < future_.size() ? std::move(future_[n])
+                                    : cache::FutureIndex{},
+        board_, std::move(failures[n]), failure_flush_));
   }
+  future_.clear();
 }
 
-void ShardedSimulation::run_shards(std::uint32_t threads) {
-  const auto shard_count = shards_.size();
-  const auto workers = static_cast<std::size_t>(
-      std::min<std::uint64_t>(threads, shard_count ? shard_count : 1));
+void ShardedSimulation::parallel_for(
+    std::size_t count, std::uint32_t threads,
+    const std::function<void(std::size_t)>& fn) {
+  const auto workers =
+      static_cast<std::size_t>(std::min<std::uint64_t>(threads, count ? count : 1));
   if (workers <= 1) {
-    for (auto& shard : shards_) shard->run();
+    for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
 
-  // Work-stealing by atomic counter: shard order of *execution* is
-  // nondeterministic, but shards share no mutable state and the merge
-  // below runs in index order, so the report cannot tell.
+  // Work-stealing by atomic counter: order of *execution* is
+  // nondeterministic, but tasks (shards) share no mutable state and the
+  // merge runs in index order, so the report cannot tell.
+  //
+  // Threads are spawned per call — i.e. per stream chunk — rather than
+  // kept in a persistent pool.  Deliberate: spawn+join is tens of
+  // microseconds against chunks that replay thousands of sessions, and a
+  // shared pool would reintroduce exactly the cross-chunk mutable state
+  // the determinism argument is built on not having.
   std::atomic<std::size_t> next{0};
   std::mutex error_mutex;
   std::exception_ptr error;
   auto work = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= shard_count) return;
+      if (i >= count) return;
       try {
-        shards_[i]->run();
+        fn(i);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!error) error = std::current_exception();
-        next.store(shard_count, std::memory_order_relaxed);  // stop claiming
+        next.store(count, std::memory_order_relaxed);  // stop claiming
         return;
       }
     }
@@ -164,16 +185,66 @@ void ShardedSimulation::run_shards(std::uint32_t threads) {
   if (error) std::rethrow_exception(error);
 }
 
+void ShardedSimulation::stream_shards() {
+  const auto chunk_ms = config_.stream_chunk.millis_count();
+  const auto user_count = topology_.user_count();
+  const auto catalog_size = source_->catalog().size();
+  const auto shard_count = shards_.size();
+
+  // Per-shard batch buffers, reused across chunks (clear keeps capacity),
+  // plus the list of shards the current chunk actually touches.
+  std::vector<std::vector<NeighborhoodShard::StreamSession>> batches(
+      shard_count);
+  std::vector<std::uint32_t> active;
+
+  auto stream = source_->open();
+  trace::SessionRecord record;
+  bool more = stream->next(record);
+  std::uint64_t index = 0;
+  sim::SimTime prev;  // 0: sources must not emit negative starts
+
+  while (more) {
+    // The chunk containing the next session (empty stretches are skipped
+    // outright — chunk edges are fixed multiples of stream_chunk, so which
+    // chunks exist never depends on how the workload is paced).
+    const auto chunk_end = sim::SimTime::millis(
+        (record.start.millis_count() / chunk_ms + 1) * chunk_ms);
+    while (more && record.start < chunk_end) {
+      // The sorted/ranged contract every source carries; cheap enough to
+      // hold even external sources to it record by record.
+      VODCACHE_EXPECTS(record.start >= prev);
+      VODCACHE_EXPECTS(record.user.value() < user_count);
+      VODCACHE_EXPECTS(record.program.value() < catalog_size);
+      prev = record.start;
+      const auto n = topology_.neighborhood_of(record.user).value();
+      if (batches[n].empty()) active.push_back(n);
+      batches[n].push_back({record, index, topology_.peer_of(record.user)});
+      ++index;
+      more = stream->next(record);
+    }
+
+    parallel_for(active.size(), config_.threads, [&](std::size_t i) {
+      shards_[active[i]]->feed(batches[active[i]]);
+    });
+    for (const auto n : active) batches[n].clear();
+    active.clear();
+  }
+
+  // Drain every shard's boundary queue and flush trailing failure waves.
+  parallel_for(shard_count, config_.threads,
+               [&](std::size_t i) { shards_[i]->finish(); });
+}
+
 SimulationReport ShardedSimulation::run() {
   VODCACHE_EXPECTS(!ran_);
   ran_ = true;
 
-  run_shards(config_.threads);
+  stream_shards();
 
   // Reduce the per-shard central-server slices in neighborhood order —
   // fixed order keeps the floating-point sums, and hence the report,
   // bit-identical across thread counts.
-  MediaServer media(trace_.horizon(), config_.meter_bucket);
+  MediaServer media(source_->horizon(), config_.meter_bucket);
   for (const auto& shard : shards_) media.merge(shard->media_server());
   return build_report(media);
 }
@@ -182,12 +253,12 @@ SimulationReport ShardedSimulation::build_report(
     const MediaServer& media) const {
   SimulationReport report;
   report.strategy = config_.strategy.kind;
-  report.user_count = trace_.user_count();
+  report.user_count = source_->user_count();
   report.neighborhood_count = topology_.neighborhood_count();
 
   // Warmup exclusion, clamped so short demo runs still have samples.
   const auto half_horizon =
-      sim::SimTime::millis(trace_.horizon().millis_count() / 2);
+      sim::SimTime::millis(source_->horizon().millis_count() / 2);
   const sim::SimTime from = std::min(config_.warmup, half_horizon);
   report.measured_from = from;
 

@@ -1,36 +1,60 @@
-// ShardedSimulation: partitions the trace by neighborhood, runs one
-// NeighborhoodShard per neighborhood across a worker pool, and merges the
-// per-shard results into one SimulationReport.
+// ShardedSimulation: demultiplexes a session stream by neighborhood, runs
+// one NeighborhoodShard per neighborhood across a worker pool, and merges
+// the per-shard results into one SimulationReport.
+//
+// The workload arrives as a `trace::SessionSource` — a pull-based stream —
+// so the whole horizon is never materialized: the main loop pulls one time
+// chunk (`SystemConfig::stream_chunk`) of sessions into per-neighborhood
+// batches, the worker pool replays that chunk's batches, and the memory
+// high-water mark is one chunk of sessions plus the shards' own state.  A
+// materialized `Trace` is just one more source (`trace::TraceSource`), so
+// both paths share this code and produce identical bytes.
+//
+// Strategies that need whole-trace knowledge get it from a *prepass*: a
+// first streaming pass over the same source builds GlobalLFU's immutable
+// ReplayBoard, the oracle's per-neighborhood FutureIndex, and the
+// failure-wave flush time.  LRU/LFU/None with no failure waves skip the
+// prepass — those runs read the workload exactly once.
 //
 // Determinism contract: every shard's computation depends only on
-// immutable shared inputs (trace, config, topology partition, prebuilt
-// popularity timeline) and its own state, and the merge reduces shards in
-// neighborhood-index order.  The report is therefore bit-identical for
-// every thread count — `threads` is purely a wall-clock knob.
+// immutable shared inputs (source, config, topology partition, prebuilt
+// popularity timeline) and its own state; chunk boundaries are invisible
+// to each shard's event order (see NeighborhoodShard::feed); and the merge
+// reduces shards in neighborhood-index order.  The report is therefore
+// bit-identical for every thread count and every chunk size — both are
+// purely wall-clock/memory knobs.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <memory>
 #include <vector>
 
+#include "cache/future_index.hpp"
 #include "cache/popularity_board.hpp"
 #include "core/config.hpp"
 #include "core/media_server.hpp"
 #include "core/neighborhood_shard.hpp"
 #include "core/report.hpp"
 #include "hfc/topology.hpp"
+#include "trace/session_source.hpp"
 #include "trace/trace.hpp"
 
 namespace vodcache::core {
 
 class ShardedSimulation {
  public:
-  // The trace must outlive the simulation.
+  // The source must outlive the simulation.
+  ShardedSimulation(const trace::SessionSource& source, SystemConfig config);
+
+  // Materialized convenience: wraps the trace in a TraceSource.  The trace
+  // must outlive the simulation.
   ShardedSimulation(const trace::Trace& trace, SystemConfig config);
 
   ShardedSimulation(const ShardedSimulation&) = delete;
   ShardedSimulation& operator=(const ShardedSimulation&) = delete;
 
-  // Replays the whole trace (config.threads workers) and produces the
+  // Replays the whole workload (config.threads workers) and produces the
   // report.  Single-shot.
   [[nodiscard]] SimulationReport run();
 
@@ -38,16 +62,28 @@ class ShardedSimulation {
   [[nodiscard]] const SystemConfig& config() const { return config_; }
 
  private:
+  // Streaming pass 1 (only when the strategy or failure waves need
+  // whole-trace knowledge): ReplayBoard, FutureIndex, failure flush time.
+  void prepass();
   void build_shards();
-  // Runs every shard to completion on `threads` workers (1 = inline).
-  void run_shards(std::uint32_t threads);
+  // Streaming pass 2: chunked demux into per-shard batches, replayed on
+  // the worker pool chunk by chunk.
+  void stream_shards();
+  // Runs fn(0..count) to completion on `threads` workers (1 = inline).
+  void parallel_for(std::size_t count, std::uint32_t threads,
+                    const std::function<void(std::size_t)>& fn);
   [[nodiscard]] SimulationReport build_report(const MediaServer& media) const;
 
-  const trace::Trace& trace_;
+  std::unique_ptr<trace::SessionSource> owned_source_;  // Trace ctor only
+  const trace::SessionSource* source_;
   SystemConfig config_;
   hfc::Topology topology_;
   // GlobalLFU only: the immutable popularity timeline all shards read.
   std::shared_ptr<const cache::ReplayBoard> board_;
+  // Oracle only: per-neighborhood clairvoyance (consumed by build_shards).
+  std::vector<cache::FutureIndex> future_;
+  // Failure waves only: time of the last event anywhere in the system.
+  sim::SimTime failure_flush_ = sim::SimTime::millis(-1);
   std::vector<std::unique_ptr<NeighborhoodShard>> shards_;
   bool ran_ = false;
 };

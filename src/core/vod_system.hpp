@@ -25,6 +25,7 @@
 #include "core/report.hpp"
 #include "core/sharded_simulation.hpp"
 #include "hfc/topology.hpp"
+#include "trace/session_source.hpp"
 #include "trace/trace.hpp"
 
 namespace vodcache::core {
@@ -34,6 +35,13 @@ class VodSystem {
   // The trace must outlive the system.
   VodSystem(const trace::Trace& trace, SystemConfig config)
       : simulation_(trace, config) {}
+
+  // Streaming form: replays the workload directly off a lazy session
+  // source (generator, CSV file, scaling adaptor) without materializing
+  // it.  Bit-identical to running the materialized trace.  The source must
+  // outlive the system.
+  VodSystem(const trace::SessionSource& source, SystemConfig config)
+      : simulation_(source, config) {}
 
   VodSystem(const VodSystem&) = delete;
   VodSystem& operator=(const VodSystem&) = delete;

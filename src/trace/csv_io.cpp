@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace vodcache::trace {
@@ -48,22 +49,74 @@ T parse_number(std::string_view text, std::size_t line_number) {
   return value;
 }
 
+SessionRecord parse_session_line(
+    const std::vector<std::string_view>& fields, std::size_t line_number) {
+  if (fields.size() != 5) {
+    parse_error(line_number, "session needs 4 fields");
+  }
+  SessionRecord s;
+  s.start =
+      sim::SimTime::millis(parse_number<std::int64_t>(fields[1], line_number));
+  s.user = UserId{parse_number<std::uint32_t>(fields[2], line_number)};
+  s.program = ProgramId{parse_number<std::uint32_t>(fields[3], line_number)};
+  s.duration =
+      sim::SimTime::millis(parse_number<std::int64_t>(fields[4], line_number));
+  return s;
+}
+
+// The header records (meta + program) shared by both loaders.
+struct HeaderState {
+  bool seen_meta = false;
+  std::uint32_t user_count = 0;
+  sim::SimTime horizon;
+  std::vector<ProgramInfo> programs;
+};
+
+// Consumes a meta/program line into `header` and returns true; returns
+// false for a session line (the caller parses those); throws on anything
+// else.
+bool consume_header_line(const std::vector<std::string_view>& fields,
+                         std::size_t line_number, HeaderState& header) {
+  const std::string_view kind = fields[0];
+  if (kind == "session") return false;
+  if (kind == "meta") {
+    if (fields.size() != 3) parse_error(line_number, "meta needs 2 fields");
+    header.user_count = parse_number<std::uint32_t>(fields[1], line_number);
+    header.horizon = sim::SimTime::millis(
+        parse_number<std::int64_t>(fields[2], line_number));
+    header.seen_meta = true;
+    return true;
+  }
+  if (kind == "program") {
+    // fresh_weight (field 6) is optional for backward compatibility with
+    // traces converted from external sources.
+    if (fields.size() != 5 && fields.size() != 6) {
+      parse_error(line_number, "program needs 4 or 5 fields");
+    }
+    const auto id = parse_number<std::uint32_t>(fields[1], line_number);
+    if (id != header.programs.size()) {
+      parse_error(line_number, "program ids must be contiguous from 0");
+    }
+    ProgramInfo info;
+    info.length = sim::SimTime::millis(
+        parse_number<std::int64_t>(fields[2], line_number));
+    info.introduced = sim::SimTime::millis(
+        parse_number<std::int64_t>(fields[3], line_number));
+    info.base_weight = parse_number<double>(fields[4], line_number);
+    if (fields.size() == 6) {
+      info.fresh_weight = parse_number<double>(fields[5], line_number);
+    }
+    header.programs.push_back(info);
+    return true;
+  }
+  parse_error(line_number, "unknown record kind");
+}
+
 }  // namespace
 
 void write_csv(const Trace& trace, std::ostream& out) {
-  out << "# vodcache-trace v1\n";
-  out << "meta," << trace.user_count() << ','
-      << trace.horizon().millis_count() << '\n';
-  const auto& programs = trace.catalog().programs();
-  for (std::size_t i = 0; i < programs.size(); ++i) {
-    out << "program," << i << ',' << programs[i].length.millis_count() << ','
-        << programs[i].introduced.millis_count() << ','
-        << programs[i].base_weight << ',' << programs[i].fresh_weight << '\n';
-  }
-  for (const auto& s : trace.sessions()) {
-    out << "session," << s.start.millis_count() << ',' << s.user.value() << ','
-        << s.program.value() << ',' << s.duration.millis_count() << '\n';
-  }
+  const TraceSource source(trace);
+  write_csv(source, out);
 }
 
 void write_csv_file(const Trace& trace, const std::string& path) {
@@ -72,69 +125,57 @@ void write_csv_file(const Trace& trace, const std::string& path) {
   write_csv(trace, out);
 }
 
+std::uint64_t write_csv(const SessionSource& source, std::ostream& out) {
+  out << "# vodcache-trace v1\n";
+  out << "meta," << source.user_count() << ','
+      << source.horizon().millis_count() << '\n';
+  const auto& programs = source.catalog().programs();
+  for (std::size_t i = 0; i < programs.size(); ++i) {
+    out << "program," << i << ',' << programs[i].length.millis_count() << ','
+        << programs[i].introduced.millis_count() << ','
+        << programs[i].base_weight << ',' << programs[i].fresh_weight << '\n';
+  }
+  std::uint64_t count = 0;
+  auto stream = source.open();
+  SessionRecord s;
+  while (stream->next(s)) {
+    out << "session," << s.start.millis_count() << ',' << s.user.value() << ','
+        << s.program.value() << ',' << s.duration.millis_count() << '\n';
+    ++count;
+  }
+  return count;
+}
+
+std::uint64_t write_csv_file(const SessionSource& source,
+                             const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  return write_csv(source, out);
+}
+
 Trace read_csv(std::istream& in) {
   std::string line;
   std::size_t line_number = 0;
-  bool seen_meta = false;
-  std::uint32_t user_count = 0;
-  sim::SimTime horizon;
-  std::vector<ProgramInfo> programs;
+  HeaderState header;
   std::vector<SessionRecord> sessions;
 
   while (std::getline(in, line)) {
     ++line_number;
     if (line.empty() || line[0] == '#') continue;
     const auto fields = split_fields(line);
-    const std::string_view kind = fields[0];
-    if (kind == "meta") {
-      if (fields.size() != 3) parse_error(line_number, "meta needs 2 fields");
-      user_count = parse_number<std::uint32_t>(fields[1], line_number);
-      horizon = sim::SimTime::millis(
-          parse_number<std::int64_t>(fields[2], line_number));
-      seen_meta = true;
-    } else if (kind == "program") {
-      // fresh_weight (field 6) is optional for backward compatibility with
-      // traces converted from external sources.
-      if (fields.size() != 5 && fields.size() != 6) {
-        parse_error(line_number, "program needs 4 or 5 fields");
-      }
-      const auto id = parse_number<std::uint32_t>(fields[1], line_number);
-      if (id != programs.size()) {
-        parse_error(line_number, "program ids must be contiguous from 0");
-      }
-      ProgramInfo info;
-      info.length = sim::SimTime::millis(
-          parse_number<std::int64_t>(fields[2], line_number));
-      info.introduced = sim::SimTime::millis(
-          parse_number<std::int64_t>(fields[3], line_number));
-      info.base_weight = parse_number<double>(fields[4], line_number);
-      if (fields.size() == 6) {
-        info.fresh_weight = parse_number<double>(fields[5], line_number);
-      }
-      programs.push_back(info);
-    } else if (kind == "session") {
-      if (fields.size() != 5) {
-        parse_error(line_number, "session needs 4 fields");
-      }
-      SessionRecord s;
-      s.start = sim::SimTime::millis(
-          parse_number<std::int64_t>(fields[1], line_number));
-      s.user = UserId{parse_number<std::uint32_t>(fields[2], line_number)};
-      s.program = ProgramId{parse_number<std::uint32_t>(fields[3], line_number)};
-      s.duration = sim::SimTime::millis(
-          parse_number<std::int64_t>(fields[4], line_number));
-      if (s.program.value() >= programs.size()) {
-        parse_error(line_number, "session references unknown program");
-      }
-      sessions.push_back(s);
-    } else {
-      parse_error(line_number, "unknown record kind");
+    if (consume_header_line(fields, line_number, header)) continue;
+    const auto s = parse_session_line(fields, line_number);
+    if (s.program.value() >= header.programs.size()) {
+      parse_error(line_number, "session references unknown program");
     }
+    sessions.push_back(s);
   }
-  if (!seen_meta) throw std::runtime_error("vodcache trace: missing meta line");
+  if (!header.seen_meta) {
+    throw std::runtime_error("vodcache trace: missing meta line");
+  }
 
-  Trace trace(Catalog(std::move(programs)), std::move(sessions), user_count,
-              horizon);
+  Trace trace(Catalog(std::move(header.programs)), std::move(sessions),
+              header.user_count, header.horizon);
   // Input files are untrusted: semantic violations are exceptions, not
   // contract aborts.
   if (const auto error = trace.validation_error()) {
@@ -147,6 +188,117 @@ Trace read_csv_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open for read: " + path);
   return read_csv(in);
+}
+
+namespace {
+
+// The session-only replay pass behind CsvSource::open().  Re-checks just
+// the invariants a changed file could break underneath the validated
+// source: session ordering and program-id range.
+class CsvStream final : public SessionStream {
+ public:
+  CsvStream(const std::string& path, std::size_t catalog_size)
+      : in_(path), catalog_size_(catalog_size) {
+    if (!in_) throw std::runtime_error("cannot open for read: " + path);
+  }
+
+  bool next(SessionRecord& out) override {
+    std::string line;
+    while (std::getline(in_, line)) {
+      ++line_number_;
+      if (line.empty() || line[0] == '#') continue;
+      const auto fields = split_fields(line);
+      const std::string_view kind = fields[0];
+      if (kind != "session") continue;  // header lines: validated up front
+      out = parse_session_line(fields, line_number_);
+      if (out.program.value() >= catalog_size_) {
+        parse_error(line_number_, "session references unknown program");
+      }
+      if (out.start < last_start_) {
+        parse_error(line_number_,
+                    "sessions not sorted by start time (file changed?)");
+      }
+      last_start_ = out.start;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  std::ifstream in_;
+  const std::size_t catalog_size_;
+  std::size_t line_number_ = 0;
+  sim::SimTime last_start_;
+};
+
+}  // namespace
+
+CsvSource::CsvSource(std::string path) : path_(std::move(path)) {
+  std::ifstream in(path_);
+  if (!in) throw std::runtime_error("cannot open for read: " + path_);
+
+  // One full validation pass: header into memory, sessions checked in
+  // stream order (the same invariants Trace::validation_error enforces)
+  // and counted, never stored.
+  std::string line;
+  std::size_t line_number = 0;
+  HeaderState header;
+  sim::SimTime last_start;
+  bool any_session = false;
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = split_fields(line);
+    if (consume_header_line(fields, line_number, header)) continue;
+    if (!header.seen_meta) {
+      parse_error(line_number,
+                  "streaming source needs the meta line before the first "
+                  "session (the materialized loader accepts either order)");
+    }
+    const auto s = parse_session_line(fields, line_number);
+    if (s.program.value() >= header.programs.size()) {
+      parse_error(line_number, "session references unknown program");
+    }
+    const auto& program = header.programs[s.program.value()];
+    if (any_session && s.start < last_start) {
+      parse_error(line_number,
+                  "sessions not sorted by start time; a streaming source "
+                  "cannot re-sort — regenerate the file or load it "
+                  "materialized (vodcache run --materialize)");
+    }
+    if (s.user.value() >= header.user_count) {
+      parse_error(line_number, "user id out of range");
+    }
+    if (s.duration <= sim::SimTime{}) {
+      parse_error(line_number, "non-positive duration");
+    }
+    if (s.duration > program.length) {
+      parse_error(line_number, "duration exceeds program length");
+    }
+    if (s.start < sim::SimTime{}) {
+      parse_error(line_number, "negative start time");
+    }
+    if (s.start >= header.horizon) {
+      parse_error(line_number, "session starts past horizon");
+    }
+    if (s.start < program.introduced) {
+      parse_error(line_number, "session precedes program introduction");
+    }
+    last_start = s.start;
+    any_session = true;
+    ++session_count_;
+  }
+  if (!header.seen_meta) {
+    throw std::runtime_error("vodcache trace: missing meta line");
+  }
+  user_count_ = header.user_count;
+  horizon_ = header.horizon;
+  catalog_ = Catalog(std::move(header.programs));
+}
+
+std::unique_ptr<SessionStream> CsvSource::open() const {
+  return std::make_unique<CsvStream>(path_, catalog_.size());
 }
 
 }  // namespace vodcache::trace

@@ -13,9 +13,12 @@
 // contiguous ids 0..n-1 before any session referencing them.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 
+#include "trace/session_source.hpp"
 #include "trace/trace.hpp"
 
 namespace vodcache::trace {
@@ -23,8 +26,49 @@ namespace vodcache::trace {
 void write_csv(const Trace& trace, std::ostream& out);
 void write_csv_file(const Trace& trace, const std::string& path);
 
+// Streaming writers: drain the source straight to disk without ever
+// materializing the session vector (how `vodcache gen` writes million-user
+// traces).  Output is byte-identical to write_csv of the materialized
+// trace.  Returns the number of sessions written.
+std::uint64_t write_csv(const SessionSource& source, std::ostream& out);
+std::uint64_t write_csv_file(const SessionSource& source,
+                             const std::string& path);
+
 // Throws std::runtime_error on malformed input.
 [[nodiscard]] Trace read_csv(std::istream& in);
 [[nodiscard]] Trace read_csv_file(const std::string& path);
+
+// A trace file as a SessionSource: the constructor makes one full pass to
+// parse the header (meta + programs) and validate every session —
+// O(catalog) memory, nothing stored — and each open() re-reads the file,
+// yielding sessions in file order.
+//
+// Two restrictions versus read_csv_file (which materializes and can
+// therefore repair order): sessions must already be sorted by start time,
+// and the meta line must precede the first session.  write_csv output
+// always satisfies both.  Violations throw std::runtime_error with a hint
+// to re-sort or load materialized.  Streams re-check the invariants
+// cheaply and throw if the file changed between passes.
+class CsvSource final : public SessionSource {
+ public:
+  explicit CsvSource(std::string path);
+
+  [[nodiscard]] const Catalog& catalog() const override { return catalog_; }
+  [[nodiscard]] std::uint32_t user_count() const override {
+    return user_count_;
+  }
+  [[nodiscard]] sim::SimTime horizon() const override { return horizon_; }
+  [[nodiscard]] std::unique_ptr<SessionStream> open() const override;
+  [[nodiscard]] std::uint64_t session_count_hint() const override {
+    return session_count_;
+  }
+
+ private:
+  std::string path_;
+  Catalog catalog_;
+  std::uint32_t user_count_ = 0;
+  sim::SimTime horizon_;
+  std::uint64_t session_count_ = 0;
+};
 
 }  // namespace vodcache::trace

@@ -105,82 +105,133 @@ sim::SimTime sample_session_length(sim::SimTime len,
   return sim::SimTime::from_seconds_f(seconds);
 }
 
-}  // namespace
-
-Trace generate_power_info_like(const GeneratorConfig& config) {
-  config.validate();
-  Rng rng(config.seed);
-
-  Catalog catalog = build_catalog(config, rng);
-  const auto& programs = catalog.programs();
-
-  const double hour_weight_sum =
-      std::accumulate(config.hourly_weights.begin(),
-                      config.hourly_weights.end(), 0.0);
-  const double sessions_per_day =
-      static_cast<double>(config.user_count) * config.sessions_per_user_per_day;
-
-  // Popularity alias table, rebuilt every `popularity_rebuild_hours` so the
-  // freshness decay and new releases take effect.
-  const auto rebuild_interval =
-      sim::SimTime::from_seconds_f(config.popularity_rebuild_hours * 3600.0);
-  sim::SimTime next_rebuild;  // 0 -> rebuild before the first batch
-  AliasTable program_sampler;
-  std::vector<std::uint32_t> available;  // alias index -> program id
-  std::vector<double> weights;
-  weights.reserve(programs.size());
-  available.reserve(programs.size());
-
-  auto rebuild_sampler = [&](sim::SimTime t) {
-    weights.clear();
-    available.clear();
-    for (std::uint32_t i = 0; i < programs.size(); ++i) {
-      const double w = popularity_weight_at(programs[i], t, config);
-      if (w > 0.0) {
-        weights.push_back(w);
-        available.push_back(i);
-      }
-    }
-    VODCACHE_ASSERT(!weights.empty());
-    program_sampler = AliasTable(weights);
-  };
-
-  std::vector<SessionRecord> sessions;
-  sessions.reserve(static_cast<std::size_t>(
-      sessions_per_day * static_cast<double>(config.days) * 1.1));
-
-  const auto horizon = sim::SimTime::days(config.days);
-  // Arrivals are generated hour by hour: draw a Poisson count for the hour,
-  // then place each session uniformly inside it.
-  for (std::int32_t day = 0; day < config.days; ++day) {
-    for (int hour = 0; hour < 24; ++hour) {
-      const auto hour_begin = sim::SimTime::days(day) + sim::SimTime::hours(hour);
-      if (hour_begin >= next_rebuild) {
-        rebuild_sampler(hour_begin);
-        next_rebuild = hour_begin + rebuild_interval;
-      }
-      const double lambda =
-          sessions_per_day * config.hourly_weights[hour] / hour_weight_sum;
-      const std::uint64_t count = rng.poisson(lambda);
-      for (std::uint64_t i = 0; i < count; ++i) {
-        SessionRecord record;
-        record.start =
-            hour_begin + sim::SimTime::millis(rng.uniform_int(0, 3600 * 1000 - 1));
-        record.user =
-            UserId{static_cast<std::uint32_t>(rng.uniform_u64(config.user_count))};
-        const std::uint32_t program = available[program_sampler.sample(rng)];
-        record.program = ProgramId{program};
-        record.duration =
-            sample_session_length(programs[program].length, config, rng);
-        sessions.push_back(record);
-      }
-    }
+// Lazy per-hour replay of the generation loop.  Arrivals are drawn hour by
+// hour — a Poisson count for the hour, then each session placed uniformly
+// inside it — exactly the draw order the materialized generator used, so
+// the two produce identical sequences.  Each hour batch is stably sorted by
+// start before it is handed out; since hour intervals are disjoint, the
+// concatenation of per-hour stable sorts equals the global stable sort the
+// Trace constructor would apply.
+class GeneratorStream final : public SessionStream {
+ public:
+  GeneratorStream(const GeneratorConfig& config, const Catalog& catalog,
+                  Rng rng)
+      : config_(&config),
+        programs_(&catalog.programs()),
+        rng_(rng),
+        hour_weight_sum_(std::accumulate(config.hourly_weights.begin(),
+                                         config.hourly_weights.end(), 0.0)),
+        sessions_per_day_(static_cast<double>(config.user_count) *
+                          config.sessions_per_user_per_day),
+        rebuild_interval_(sim::SimTime::from_seconds_f(
+            config.popularity_rebuild_hours * 3600.0)) {
+    weights_.reserve(programs_->size());
+    available_.reserve(programs_->size());
   }
 
-  Trace trace(std::move(catalog), std::move(sessions), config.user_count,
-              horizon);
-  trace.validate();
-  return trace;
+  bool next(SessionRecord& out) override {
+    while (cursor_ >= batch_.size()) {
+      if (!generate_next_hour()) return false;
+    }
+    out = batch_[cursor_++];
+    return true;
+  }
+
+ private:
+  // Popularity alias table, rebuilt every `popularity_rebuild_hours` so the
+  // freshness decay and new releases take effect.
+  void rebuild_sampler(sim::SimTime t) {
+    weights_.clear();
+    available_.clear();
+    for (std::uint32_t i = 0; i < programs_->size(); ++i) {
+      const double w = popularity_weight_at((*programs_)[i], t, *config_);
+      if (w > 0.0) {
+        weights_.push_back(w);
+        available_.push_back(i);
+      }
+    }
+    VODCACHE_ASSERT(!weights_.empty());
+    program_sampler_ = AliasTable(weights_);
+  }
+
+  // Draws one hour's arrivals into batch_; false once past the horizon.
+  bool generate_next_hour() {
+    if (day_ >= config_->days) return false;
+    const auto hour_begin =
+        sim::SimTime::days(day_) + sim::SimTime::hours(hour_);
+    if (hour_begin >= next_rebuild_) {
+      rebuild_sampler(hour_begin);
+      next_rebuild_ = hour_begin + rebuild_interval_;
+    }
+    const double lambda =
+        sessions_per_day_ * config_->hourly_weights[hour_] / hour_weight_sum_;
+    const std::uint64_t count = rng_.poisson(lambda);
+    batch_.clear();
+    cursor_ = 0;
+    batch_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      SessionRecord record;
+      record.start = hour_begin +
+                     sim::SimTime::millis(rng_.uniform_int(0, 3600 * 1000 - 1));
+      record.user = UserId{
+          static_cast<std::uint32_t>(rng_.uniform_u64(config_->user_count))};
+      const std::uint32_t program = available_[program_sampler_.sample(rng_)];
+      record.program = ProgramId{program};
+      record.duration =
+          sample_session_length((*programs_)[program].length, *config_, rng_);
+      batch_.push_back(record);
+    }
+    std::stable_sort(batch_.begin(), batch_.end(),
+                     [](const SessionRecord& a, const SessionRecord& b) {
+                       return a.start < b.start;
+                     });
+    if (++hour_ == 24) {
+      hour_ = 0;
+      ++day_;
+    }
+    return true;
+  }
+
+  const GeneratorConfig* config_;
+  const std::vector<ProgramInfo>* programs_;
+  Rng rng_;
+  const double hour_weight_sum_;
+  const double sessions_per_day_;
+  const sim::SimTime rebuild_interval_;
+
+  sim::SimTime next_rebuild_;  // 0 -> rebuild before the first batch
+  AliasTable program_sampler_;
+  std::vector<std::uint32_t> available_;  // alias index -> program id
+  std::vector<double> weights_;
+
+  std::int32_t day_ = 0;
+  int hour_ = 0;
+  std::vector<SessionRecord> batch_;  // current hour, sorted by start
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace
+
+GeneratorSource::GeneratorSource(GeneratorConfig config)
+    : config_(config), session_rng_(config.seed) {
+  config_.validate();
+  catalog_ = build_catalog(config_, session_rng_);
+}
+
+std::unique_ptr<SessionStream> GeneratorSource::open() const {
+  return std::make_unique<GeneratorStream>(config_, catalog_, session_rng_);
+}
+
+std::uint64_t GeneratorSource::session_count_hint() const {
+  return static_cast<std::uint64_t>(
+      static_cast<double>(config_.user_count) *
+      config_.sessions_per_user_per_day * static_cast<double>(config_.days) *
+      1.1);
+}
+
+Trace generate_power_info_like(const GeneratorConfig& config) {
+  const GeneratorSource source(config);
+  return materialize(source);
 }
 
 }  // namespace vodcache::trace

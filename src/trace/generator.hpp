@@ -25,7 +25,9 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 
+#include "trace/session_source.hpp"
 #include "trace/trace.hpp"
 #include "util/rng.hpp"
 
@@ -89,7 +91,44 @@ struct GeneratorConfig {
   void validate() const;
 };
 
-// Generates a trace.  Deterministic in the config (including seed).
+// The generator as a lazy SessionSource: the catalog is built eagerly (it
+// is O(programs) and fixes the RNG stream's prefix), sessions are drawn on
+// demand, one hour-batch at a time, so a multi-day million-user workload
+// streams in O(users-per-hour) memory instead of O(total sessions).
+//
+// Determinism contract: for the same config (including seed), every open()
+// replays the identical sequence, and that sequence is byte-for-byte the
+// `sessions()` of `generate_power_info_like(config)` — the stream performs
+// the exact same RNG draws in the exact same order; only the buffering
+// differs (per-hour batches are stably sorted locally, which equals the
+// materialized trace's global stable sort because hour intervals are
+// disjoint in start time).
+class GeneratorSource final : public SessionSource {
+ public:
+  explicit GeneratorSource(GeneratorConfig config);
+
+  [[nodiscard]] const Catalog& catalog() const override { return catalog_; }
+  [[nodiscard]] std::uint32_t user_count() const override {
+    return config_.user_count;
+  }
+  [[nodiscard]] sim::SimTime horizon() const override {
+    return sim::SimTime::days(config_.days);
+  }
+  [[nodiscard]] std::unique_ptr<SessionStream> open() const override;
+  [[nodiscard]] std::uint64_t session_count_hint() const override;
+
+  [[nodiscard]] const GeneratorConfig& config() const { return config_; }
+
+ private:
+  GeneratorConfig config_;
+  Catalog catalog_;
+  // RNG state after the catalog build; each stream continues from a copy.
+  Rng session_rng_;
+};
+
+// Generates a materialized trace.  Deterministic in the config (including
+// seed); equal to materialize(GeneratorSource(config)) — which is exactly
+// how it is implemented.
 [[nodiscard]] Trace generate_power_info_like(const GeneratorConfig& config);
 
 // The time-varying popularity weight model, exposed so tests and analysis

@@ -6,25 +6,104 @@
 //    jittered by a uniform 1-60 seconds to avoid synchronized accesses.
 //  * Catalog x n: create n copies of every program; every event is remapped
 //    to one of the n copies uniformly at random.
+//
+// Both transforms exist in two forms with identical output:
+//
+//  * streaming adaptors (`PopulationScaledSource`, `CatalogScaledSource`) —
+//    O(1)-memory `SessionSource` wrappers, the way figure-15 sweeps scale
+//    without materializing n copies of the workload;
+//  * materialized functions (`scale_population`, `scale_catalog`) — drain
+//    the corresponding adaptor into a `Trace` (kept for small workloads and
+//    as the cross-validation twin).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
+#include "trace/session_source.hpp"
 #include "trace/trace.hpp"
 
 namespace vodcache::trace {
 
-// Returns a trace with factor x users and factor x events.  Copy k of user u
-// has id u + k*user_count.  Copy 0 keeps the original timestamps; copies
-// k>0 are shifted by uniform [1, 60] whole seconds (clamped inside the
-// horizon).  factor == 1 returns the input unchanged.
+// Population x factor as a stream adaptor.  Copy k of user u has id
+// u + k*user_count.  Copy 0 keeps the original timestamps; copies k>0 are
+// shifted by uniform [1, 60] whole seconds, clamped inside the horizon
+// (a jittered copy near the end of the trace is pinned to horizon - 1 ms —
+// it may land at the same timestamp as other clamped copies, never past the
+// horizon, and never ahead of its original's position in the sorted order).
+//
+// The jitter RNG is drawn in input order (record-major, copies in k order),
+// matching the materialized transform draw for draw; emission re-sorts the
+// jittered copies through a bounded reorder buffer (at most the jitter
+// window — 60 s — of upstream sessions is in flight), with ties broken by
+// generation order so the output equals the materialized trace's stable
+// sort byte for byte.
+//
+// The input source must outlive the adaptor and its streams.
+class PopulationScaledSource final : public SessionSource {
+ public:
+  PopulationScaledSource(const SessionSource& input, std::uint32_t factor,
+                         std::uint64_t seed = 0x5ca1ab1e);
+
+  [[nodiscard]] const Catalog& catalog() const override {
+    return input_->catalog();
+  }
+  [[nodiscard]] std::uint32_t user_count() const override;
+  [[nodiscard]] sim::SimTime horizon() const override {
+    return input_->horizon();
+  }
+  [[nodiscard]] std::unique_ptr<SessionStream> open() const override;
+  [[nodiscard]] std::uint64_t session_count_hint() const override {
+    return input_->session_count_hint() * factor_;
+  }
+
+ private:
+  const SessionSource* input_;
+  std::uint32_t factor_;
+  std::uint64_t seed_;
+};
+
+// Catalog x factor as a stream adaptor.  The expanded catalog (copy k of
+// program p has id p + k*program_count, same length/introduction/weights)
+// is built eagerly — it is O(programs) — and every streamed event is
+// remapped to a uniformly-random copy, drawing the RNG in input order
+// exactly like the materialized transform.  Start times are untouched, so
+// the stream needs no reorder buffer.
+//
+// The input source must outlive the adaptor and its streams.
+class CatalogScaledSource final : public SessionSource {
+ public:
+  CatalogScaledSource(const SessionSource& input, std::uint32_t factor,
+                      std::uint64_t seed = 0xcab1e5);
+
+  [[nodiscard]] const Catalog& catalog() const override { return catalog_; }
+  [[nodiscard]] std::uint32_t user_count() const override {
+    return input_->user_count();
+  }
+  [[nodiscard]] sim::SimTime horizon() const override {
+    return input_->horizon();
+  }
+  [[nodiscard]] std::unique_ptr<SessionStream> open() const override;
+  [[nodiscard]] std::uint64_t session_count_hint() const override {
+    return input_->session_count_hint();
+  }
+
+ private:
+  const SessionSource* input_;
+  std::uint32_t factor_;
+  std::uint64_t seed_;
+  Catalog catalog_;
+};
+
+// Returns a trace with factor x users and factor x events (see
+// PopulationScaledSource for the exact semantics).  factor == 1 returns the
+// input unchanged.
 [[nodiscard]] Trace scale_population(const Trace& input, std::uint32_t factor,
                                      std::uint64_t seed = 0x5ca1ab1e);
 
-// Returns a trace whose catalog holds factor x programs (copy k of program p
-// has id p + k*program_count, same length/introduction/weight); every event
-// is remapped to a uniformly-random copy.  factor == 1 returns the input
-// unchanged.
+// Returns a trace whose catalog holds factor x programs with every event
+// remapped to a uniformly-random copy (see CatalogScaledSource).
+// factor == 1 returns the input unchanged.
 [[nodiscard]] Trace scale_catalog(const Trace& input, std::uint32_t factor,
                                   std::uint64_t seed = 0xcab1e5);
 

@@ -1,0 +1,49 @@
+#include "trace/session_source.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace vodcache::trace {
+
+namespace {
+
+class TraceStream final : public SessionStream {
+ public:
+  explicit TraceStream(const Trace& trace) : trace_(&trace) {}
+
+  bool next(SessionRecord& out) override {
+    const auto& sessions = trace_->sessions();
+    if (next_ >= sessions.size()) return false;
+    out = sessions[next_++];
+    return true;
+  }
+
+ private:
+  const Trace* trace_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<SessionStream> TraceSource::open() const {
+  return std::make_unique<TraceStream>(*trace_);
+}
+
+Trace materialize(const SessionSource& source) {
+  std::vector<SessionRecord> sessions;
+  if (const auto hint = source.session_count_hint(); hint > 0) {
+    sessions.reserve(static_cast<std::size_t>(hint));
+  }
+  auto stream = source.open();
+  SessionRecord record;
+  while (stream->next(record)) sessions.push_back(record);
+
+  Trace trace(source.catalog(), std::move(sessions), source.user_count(),
+              source.horizon());
+  // Sources contract-guarantee valid sequences (external inputs validate at
+  // source construction), so a violation here is a programming error.
+  trace.validate();
+  return trace;
+}
+
+}  // namespace vodcache::trace

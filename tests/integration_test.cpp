@@ -244,8 +244,11 @@ INSTANTIATE_TEST_SUITE_P(
                       SweepCase{100, 100}, SweepCase{100, 400},
                       SweepCase{200, 400}),
     [](const auto& info) {
-      return "n" + std::to_string(info.param.neighborhood) + "_mb" +
-             std::to_string(info.param.per_peer_mb);
+      // std::string("n") rather than "n" + rvalue: GCC 12's -Wrestrict
+      // false positive (PR105329) fires on the const char* + string&&
+      // overload at -O2+ (same workaround as bench_fig15).
+      return std::string("n") + std::to_string(info.param.neighborhood) +
+             "_mb" + std::to_string(info.param.per_peer_mb);
     });
 
 TEST_P(CacheSizeSweep, InvariantsHoldAcrossTopologies) {

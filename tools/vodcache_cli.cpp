@@ -8,12 +8,21 @@
 //   vodcache gen   [options] FILE   write a synthetic trace as CSV
 //   vodcache demand [options]       no-cache demand profile only (fast)
 //
+// The workload is streamed: sessions are generated (or read) lazily and
+// consumed incrementally, so memory stays flat in the horizon and the user
+// count — a million-user multi-day run fits in commodity RAM.  `--materialize`
+// forces the old buffer-everything path; its report is byte-identical.
+//
 // Common options:
 //   --days N              workload horizon in days            [21]
 //   --users N             subscriber count                    [41698]
 //   --programs N          catalog size                        [8278]
 //   --seed N              workload seed                       [20070625]
 //   --trace FILE          load trace CSV instead of generating
+//   --scale-pop N         population x N (paper sec. V-A jittered copies)
+//   --scale-cat N         catalog x N (paper sec. V-A random remap)
+//   --materialize         buffer the whole trace in memory (cross-check
+//                         path; the streamed report is byte-identical)
 // System options (run):
 //   --neighborhood N      subscribers per neighborhood        [1000]
 //   --per-peer-gb N       storage contribution per set-top    [10]
@@ -27,13 +36,16 @@
 //   --warmup-days N       measurement warmup exclusion        [7]
 //   --fail T F            wipe fraction F of peers at hour T (repeatable)
 //   --json [FILE]         emit the full report as JSON
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/load_analysis.hpp"
@@ -42,6 +54,8 @@
 #include "core/vod_system.hpp"
 #include "trace/csv_io.hpp"
 #include "trace/generator.hpp"
+#include "trace/scaler.hpp"
+#include "trace/session_source.hpp"
 #include "util/parse.hpp"
 
 namespace {
@@ -53,6 +67,9 @@ struct CliOptions {
   trace::GeneratorConfig workload;
   core::SystemConfig system;
   std::string trace_path;
+  std::uint32_t scale_pop = 1;
+  std::uint32_t scale_cat = 1;
+  bool materialize = false;
   std::string output_path;   // gen: trace CSV destination
   std::string json_path;     // run: "-" = stdout
   bool emit_json = false;
@@ -134,6 +151,14 @@ CliOptions parse(int argc, char** argv) {
           need_value(i), "--seed", 0, std::numeric_limits<std::int64_t>::max()));
     } else if (arg == "--trace") {
       options.trace_path = need_value(i);
+    } else if (arg == "--scale-pop") {
+      options.scale_pop = static_cast<std::uint32_t>(
+          parse_int(need_value(i), "--scale-pop", 1, 10'000));
+    } else if (arg == "--scale-cat") {
+      options.scale_cat = static_cast<std::uint32_t>(
+          parse_int(need_value(i), "--scale-cat", 1, 10'000));
+    } else if (arg == "--materialize") {
+      options.materialize = true;
     } else if (arg == "--neighborhood") {
       options.system.neighborhood_size = static_cast<std::uint32_t>(
           parse_int(need_value(i), "--neighborhood", 1, kMaxCount));
@@ -189,50 +214,136 @@ CliOptions parse(int argc, char** argv) {
           options.system.neighborhood_size)) {
     usage("--per-peer-gb x --neighborhood overflows total capacity");
   }
+  // Generated workloads: the scaled id spaces are known before the (costly)
+  // source is built — reject overflow here.  CSV workloads re-check after
+  // the file's header is read (open_source).
+  if (options.trace_path.empty()) {
+    if (static_cast<std::uint64_t>(options.workload.user_count) *
+            options.scale_pop >
+        0xFFFFFFFFULL) {
+      usage("--users x --scale-pop overflows the 32-bit user id space");
+    }
+    if (static_cast<std::uint64_t>(options.workload.program_count) *
+            options.scale_cat >
+        0xFFFFFFFFULL) {
+      usage("--programs x --scale-cat overflows the 32-bit program id space");
+    }
+  }
   return options;
 }
 
-trace::Trace obtain_trace(const CliOptions& options) {
+// The workload as a lazy source chain: generator or CSV file at the base,
+// optionally wrapped by the section V-A scaling adaptors.  `parts` keeps
+// every link alive (unique_ptrs, so the pointees — which the links point
+// into — stay put when the chain moves); `tip()` is the composed workload.
+// With `--materialize`, the workload is held as an in-memory Trace and
+// exposed through a TraceSource — byte-identical results, RAM
+// proportional to the session count (the cross-check path).
+struct SourceChain {
+  std::vector<std::unique_ptr<trace::SessionSource>> parts;
+  std::vector<std::unique_ptr<trace::Trace>> traces;  // TraceSource backing
+
+  [[nodiscard]] const trace::SessionSource& tip() const {
+    return *parts.back();
+  }
+
+  void materialize_tip() {
+    traces.push_back(
+        std::make_unique<trace::Trace>(trace::materialize(tip())));
+    parts.push_back(std::make_unique<trace::TraceSource>(*traces.back()));
+  }
+};
+
+SourceChain open_source(const CliOptions& options) {
+  SourceChain chain;
   if (!options.trace_path.empty()) {
     std::cerr << "loading trace " << options.trace_path << "...\n";
-    return trace::read_csv_file(options.trace_path);
+    if (options.materialize) {
+      // The materialized loader tolerates what a streaming pass cannot
+      // (unsorted sessions, meta after sessions): it buffers and re-sorts.
+      chain.traces.push_back(std::make_unique<trace::Trace>(
+          trace::read_csv_file(options.trace_path)));
+      chain.parts.push_back(
+          std::make_unique<trace::TraceSource>(*chain.traces.back()));
+    } else {
+      chain.parts.push_back(
+          std::make_unique<trace::CsvSource>(options.trace_path));
+    }
+  } else {
+    std::cerr << "generating " << options.workload.days << "-day workload ("
+              << options.workload.user_count << " users, "
+              << options.workload.program_count << " programs)...\n";
+    chain.parts.push_back(
+        std::make_unique<trace::GeneratorSource>(options.workload));
   }
-  std::cerr << "generating " << options.workload.days << "-day workload ("
-            << options.workload.user_count << " users, "
-            << options.workload.program_count << " programs)...\n";
-  return trace::generate_power_info_like(options.workload);
+  const bool scaled = options.scale_pop > 1 || options.scale_cat > 1;
+  if (options.scale_pop > 1) {
+    if (static_cast<std::uint64_t>(chain.tip().user_count()) *
+            options.scale_pop >
+        0xFFFFFFFFULL) {
+      usage("--scale-pop overflows the 32-bit user id space");
+    }
+    const auto& base = chain.tip();
+    chain.parts.push_back(std::make_unique<trace::PopulationScaledSource>(
+        base, options.scale_pop));
+  }
+  if (options.scale_cat > 1) {
+    if (static_cast<std::uint64_t>(chain.tip().catalog().size()) *
+            options.scale_cat >
+        0xFFFFFFFFULL) {
+      usage("--scale-cat overflows the 32-bit program id space");
+    }
+    const auto& base = chain.tip();
+    chain.parts.push_back(std::make_unique<trace::CatalogScaledSource>(
+        base, options.scale_cat));
+  }
+  // A loaded --materialize trace is already in memory; only re-materialize
+  // when adaptors (or the generator) sit on top.
+  if (options.materialize && (scaled || options.trace_path.empty())) {
+    std::cerr << "materializing " << (scaled ? "scaled " : "")
+              << "trace in memory...\n";
+    chain.materialize_tip();
+  }
+  return chain;
 }
 
 int cmd_gen(const CliOptions& options) {
   if (options.output_path.empty()) usage("gen needs an output file");
-  const auto trace = obtain_trace(options);
-  trace::write_csv_file(trace, options.output_path);
-  std::cerr << "wrote " << trace.session_count() << " sessions to "
-            << options.output_path << '\n';
+  const auto chain = open_source(options);
+  const auto count =
+      trace::write_csv_file(chain.tip(), options.output_path);
+  std::cerr << "wrote " << count << " sessions to " << options.output_path
+            << '\n';
   return 0;
 }
 
 int cmd_demand(const CliOptions& options) {
-  const auto trace = obtain_trace(options);
-  const auto profile = analysis::demand_hourly_profile(
-      trace, options.system.stream_rate);
+  const auto chain = open_source(options);
+  // One metering pass serves both views (a pass regenerates the whole
+  // stream, which is the dominant cost at scale).
+  const auto meter =
+      analysis::demand_meter(chain.tip(), options.system.stream_rate);
+  const auto profile = meter.hourly_profile();
   analysis::Table table({"hour", "Gb/s"});
   for (int h = 0; h < 24; ++h) {
     table.add_row({std::to_string(h),
                    analysis::Table::num(profile[h].gbps(), 2)});
   }
   table.print(std::cout);
+  const auto half_horizon =
+      sim::SimTime::millis(chain.tip().horizon().millis_count() / 2);
   const auto peak =
-      analysis::demand_peak(trace, options.system.stream_rate,
-                            options.system.peak_window, options.system.warmup);
+      sim::peak_stats(meter, options.system.peak_window,
+                      std::min(options.system.warmup, half_horizon));
   std::cout << "peak-window demand: " << peak.mean.gbps() << " Gb/s\n";
   return 0;
 }
 
 int cmd_run(const CliOptions& options) {
-  const auto trace = obtain_trace(options);
+  const auto chain = open_source(options);
+  const auto& source = chain.tip();
   const auto demand =
-      analysis::demand_peak(trace, options.system.stream_rate,
+      analysis::demand_peak(source, options.system.stream_rate,
                             options.system.peak_window, options.system.warmup);
 
   std::cerr << "simulating " << core::to_string(options.system.strategy.kind)
@@ -240,8 +351,10 @@ int cmd_run(const CliOptions& options) {
             << options.system.per_peer_storage.as_gigabytes() << " GB ("
             << core::to_string(options.system.admission) << " admission, "
             << options.system.threads << " thread"
-            << (options.system.threads == 1 ? "" : "s") << ")...\n";
-  core::VodSystem system(trace, options.system);
+            << (options.system.threads == 1 ? "" : "s") << ", "
+            << (options.materialize ? "materialized" : "streaming")
+            << ")...\n";
+  core::VodSystem system(source, options.system);
   const auto report = system.run();
 
   // With --json to stdout, stdout must stay machine-parseable: route the
