@@ -58,6 +58,7 @@ int main(int argc, char** argv) {
       {"GlobalLFU (2h lag)", core::StrategyKind::GlobalLfu,
        sim::SimTime::hours(2)},
       {"Oracle (3-day lookahead)", core::StrategyKind::Oracle, {}},
+      {"GreedyDual (length-aware)", core::StrategyKind::GreedyDual, {}},
   };
 
   analysis::Table table({"strategy", "peak Gb/s", "reduction", "hit ratio",

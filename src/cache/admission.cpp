@@ -1,0 +1,37 @@
+#include "cache/admission.hpp"
+
+#include "util/assert.hpp"
+
+namespace vodcache::cache {
+
+SecondHitPolicy::SecondHitPolicy(sim::SimTime probation_window)
+    : window_(probation_window) {
+  VODCACHE_EXPECTS(probation_window >= sim::SimTime{});
+}
+
+void SecondHitPolicy::record_access(ProgramId program, sim::SimTime t) {
+  auto& entry = history_[program];
+  entry.previous = entry.last;
+  entry.last = t;
+  ++entry.count;
+}
+
+bool SecondHitPolicy::admit(const AdmissionRequest& request) {
+  // record_access for the current session already ran: `last` is the
+  // current access, `previous` the one before it (if any).
+  const auto it = history_.find(request.program);
+  if (it == history_.end() || it->second.count < 2) return false;
+  return request.time - it->second.previous <= window_;
+}
+
+CoaxHeadroomPolicy::CoaxHeadroomPolicy(const hfc::CoaxSpec& spec,
+                                       double fraction)
+    : spec_(spec), fraction_(fraction) {
+  VODCACHE_EXPECTS(fraction > 0.0 && fraction <= 1.0);
+}
+
+bool CoaxHeadroomPolicy::admit(const AdmissionRequest& request) {
+  return spec_.vod_headroom(request.coax_rate, fraction_);
+}
+
+}  // namespace vodcache::cache

@@ -1,0 +1,115 @@
+// Admission half of the cache policy engine.
+//
+// The monolithic ReplacementStrategy hardwired "every miss may enter the
+// cache"; that is now one policy among several.  An AdmissionPolicy decides
+// whether a missed program may enter the cache at all — before any victim
+// is nominated — so a refusal leaves the cached set untouched.  It observes
+// the same per-session popularity signal as the eviction scorer but keeps
+// its own state, which is what makes the two sides composable: any scorer
+// runs against any admission policy.
+//
+// Decision granularity follows core::CacheAdmission exactly as before: the
+// index server asks once per session at the point the program would be
+// committed (whole-program) or first stored (segment), never per segment.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+
+#include "hfc/topology.hpp"
+#include "sim/time.hpp"
+#include "util/ids.hpp"
+#include "util/units.hpp"
+
+namespace vodcache::cache {
+
+// The admission moment, as the index server sees it.  Everything a policy
+// may consult beyond its own recorded history.
+struct AdmissionRequest {
+  ProgramId program;
+  sim::SimTime time;
+  // Average rate the neighborhood coax sustains during the metering bucket
+  // containing `time` (transmissions already scheduled into that bucket
+  // included — the index server dictates placement, so it knows the load it
+  // has committed the wire to).
+  DataRate coax_rate;
+};
+
+class AdmissionPolicy {
+ public:
+  virtual ~AdmissionPolicy() = default;
+
+  AdmissionPolicy() = default;
+  AdmissionPolicy(const AdmissionPolicy&) = delete;
+  AdmissionPolicy& operator=(const AdmissionPolicy&) = delete;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  // A session for `program` started at `t` — called once per session,
+  // whether or not the program is cached, before any admit() for it.
+  virtual void record_access(ProgramId program, sim::SimTime t) = 0;
+
+  // May `request.program`, missed at `request.time`, enter the cache?
+  // Called only when the program is not already (being) cached.
+  [[nodiscard]] virtual bool admit(const AdmissionRequest& request) = 0;
+};
+
+// The paper's behaviour: every miss is a caching opportunity.  Composing
+// any scorer with this policy reproduces the monolithic strategy's
+// decisions bit for bit (pinned in tests/policy_identity_test.cpp).
+class AlwaysAdmitPolicy final : public AdmissionPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "always"; }
+  void record_access(ProgramId, sim::SimTime) override {}
+  [[nodiscard]] bool admit(const AdmissionRequest&) override { return true; }
+};
+
+// Probationary admission: a program enters the cache only on its second
+// access within `probation_window` — one-hit wonders (the long tail of the
+// Zipf catalog) never displace proven programs, at the cost of caching
+// every popular program one session later.
+class SecondHitPolicy final : public AdmissionPolicy {
+ public:
+  explicit SecondHitPolicy(sim::SimTime probation_window);
+
+  [[nodiscard]] std::string_view name() const override { return "second-hit"; }
+  void record_access(ProgramId program, sim::SimTime t) override;
+  [[nodiscard]] bool admit(const AdmissionRequest& request) override;
+
+ private:
+  struct History {
+    sim::SimTime last;      // most recent access (current session)
+    sim::SimTime previous;  // the access before it (valid when count >= 2)
+    std::uint64_t count = 0;
+  };
+
+  sim::SimTime window_;
+  std::unordered_map<ProgramId, History> history_;
+};
+
+// Coax-headroom gate: refuses admission while the neighborhood coax is
+// near its cap.  Every admission converts future requests for the program
+// into peer broadcasts, which ride the same shared coax as the miss
+// traffic (section VI-B) — when the wire is already close to the plant's
+// available band, the gate stops the cache from committing it to more
+// opportunistic fill work.  A scenario the monolithic strategy could not
+// express: admission consulting the live rate meter.
+class CoaxHeadroomPolicy final : public AdmissionPolicy {
+ public:
+  // Admission is refused while coax_rate >= fraction x available band of
+  // `spec` (the conservative low-quality-plant band).
+  CoaxHeadroomPolicy(const hfc::CoaxSpec& spec, double fraction);
+
+  [[nodiscard]] std::string_view name() const override {
+    return "coax-headroom";
+  }
+  void record_access(ProgramId, sim::SimTime) override {}
+  [[nodiscard]] bool admit(const AdmissionRequest& request) override;
+
+ private:
+  hfc::CoaxSpec spec_;
+  double fraction_;
+};
+
+}  // namespace vodcache::cache

@@ -1,10 +1,13 @@
-// Replacement-strategy interface (paper section IV-B.2 and VI-A).
+// Eviction half of the cache policy engine (paper section IV-B.2 and VI-A).
 //
-// The index server consults a strategy for three things: recording the
+// The index server composes two independent policies: an EvictionScorer —
+// this file — ranking what stays in the cache, and an AdmissionPolicy
+// (cache/admission.hpp) deciding whether a missed program may enter at all.
+// The index server consults the scorer for three things: recording the
 // popularity signal (one access per *session*, matching the paper's use of
 // "accesses"), scoring a program's retention value, and nominating the
 // cheapest cached program to evict.  The segment store performs the actual
-// evictions and reports admissions back, so a strategy always knows the
+// evictions and reports admissions back, so a scorer always knows the
 // current cached set.
 //
 // Scores are ordered pairs: bigger means more valuable.  LFU's "ties are
@@ -25,13 +28,13 @@ namespace vodcache::cache {
 
 using Score = std::pair<std::int64_t, std::int64_t>;
 
-class ReplacementStrategy {
+class EvictionScorer {
  public:
-  virtual ~ReplacementStrategy() = default;
+  virtual ~EvictionScorer() = default;
 
-  ReplacementStrategy() = default;
-  ReplacementStrategy(const ReplacementStrategy&) = delete;
-  ReplacementStrategy& operator=(const ReplacementStrategy&) = delete;
+  EvictionScorer() = default;
+  EvictionScorer(const EvictionScorer&) = delete;
+  EvictionScorer& operator=(const EvictionScorer&) = delete;
 
   [[nodiscard]] virtual std::string_view name() const = 0;
 
@@ -52,9 +55,9 @@ class ReplacementStrategy {
   [[nodiscard]] virtual std::size_t cached_count() const = 0;
 };
 
-// Common machinery: the cached-set score index plus a monotone access
-// sequence for recency tie-breaking.
-class ScoredStrategy : public ReplacementStrategy {
+// Common machinery shared by every concrete scorer: the cached-set score
+// index plus a monotone access sequence for recency tie-breaking.
+class ScoredStrategy : public EvictionScorer {
  public:
   [[nodiscard]] std::optional<ProgramId> victim(sim::SimTime t) override;
   void on_admit(ProgramId program, sim::SimTime t) override;
@@ -68,7 +71,7 @@ class ScoredStrategy : public ReplacementStrategy {
   [[nodiscard]] CachedSet& cached() { return cached_; }
   [[nodiscard]] const CachedSet& cached() const { return cached_; }
 
-  // Hook for strategies that refresh lazily (oracle, lagged global LFU)
+  // Hook for scorers that refresh lazily (oracle, lagged global LFU)
   // before the cached-set ordering is consulted.
   virtual void refresh(sim::SimTime /*t*/) {}
 

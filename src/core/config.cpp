@@ -1,23 +1,16 @@
 #include "core/config.hpp"
 
+#include "core/policy_registry.hpp"
 #include "util/assert.hpp"
 
 namespace vodcache::core {
 
 const char* to_string(StrategyKind kind) {
-  switch (kind) {
-    case StrategyKind::None:
-      return "None";
-    case StrategyKind::Lru:
-      return "LRU";
-    case StrategyKind::Lfu:
-      return "LFU";
-    case StrategyKind::Oracle:
-      return "Oracle";
-    case StrategyKind::GlobalLfu:
-      return "GlobalLFU";
-  }
-  return "?";
+  return scorer_entry(kind).display;
+}
+
+const char* to_string(AdmissionKind kind) {
+  return admission_entry(kind).display;
 }
 
 const char* to_string(CacheAdmission admission) {
@@ -41,6 +34,9 @@ void SystemConfig::validate() const {
   VODCACHE_EXPECTS(strategy.oracle_lookahead > sim::SimTime{});
   VODCACHE_EXPECTS(strategy.oracle_refresh > sim::SimTime{});
   VODCACHE_EXPECTS(strategy.global_lag >= sim::SimTime{});
+  VODCACHE_EXPECTS(admission_policy.probation_window >= sim::SimTime{});
+  VODCACHE_EXPECTS(admission_policy.headroom_fraction > 0.0 &&
+                   admission_policy.headroom_fraction <= 1.0);
   VODCACHE_EXPECTS(warmup >= sim::SimTime{});
   VODCACHE_EXPECTS(threads >= 1);
   VODCACHE_EXPECTS(stream_chunk > sim::SimTime{});

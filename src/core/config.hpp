@@ -10,6 +10,10 @@
 
 namespace vodcache::core {
 
+// Eviction scorer selector.  The name mapping (CLI key, report spelling,
+// one-line summary) and the factory for each kind live in the
+// PolicyRegistry (core/policy_registry.hpp) — the single source of truth;
+// to_string() and the CLI parser both read it.
 enum class StrategyKind {
   // No caching at all: every request goes to the central server (the
   // paper's 17 Gb/s "no cache" baseline line).
@@ -18,9 +22,25 @@ enum class StrategyKind {
   Lfu,
   Oracle,
   GlobalLfu,
+  // Length-aware GreedyDual (GDSF): retention value per byte, with the
+  // classic inflation aging.  Beyond the paper; see cache/greedy_dual.hpp.
+  GreedyDual,
 };
 
 [[nodiscard]] const char* to_string(StrategyKind kind);
+
+// Admission policy selector — the other axis of the policy matrix.  Name
+// mapping and factories also live in the PolicyRegistry.
+enum class AdmissionKind {
+  // The paper's implicit behaviour: every miss may enter the cache.
+  Always,
+  // Probationary: admit only on the second access within a window.
+  SecondHit,
+  // Refuse admission while the neighborhood coax is near its cap.
+  CoaxHeadroom,
+};
+
+[[nodiscard]] const char* to_string(AdmissionKind kind);
 
 // What the index server admits and evicts as a unit.
 enum class CacheAdmission {
@@ -46,6 +66,17 @@ struct StrategyConfig {
   sim::SimTime oracle_refresh = sim::SimTime::hours(1);
   // GlobalLFU: batching lag for global popularity (0 = continuous).
   sim::SimTime global_lag;
+};
+
+struct AdmissionPolicyConfig {
+  AdmissionKind kind = AdmissionKind::Always;
+  // SecondHit: how recent the previous access must be for a re-access to
+  // admit the program.
+  sim::SimTime probation_window = sim::SimTime::hours(24);
+  // CoaxHeadroom: admission is refused once the coax bucket rate reaches
+  // this fraction of the plant's available downstream band
+  // (CoaxSpec::available_low, the conservative figure).
+  double headroom_fraction = 0.9;
 };
 
 struct SystemConfig {
@@ -90,6 +121,10 @@ struct SystemConfig {
   sim::SimTime segment_duration = sim::SimTime::minutes(5);
 
   StrategyConfig strategy;
+
+  // Which misses may enter the cache at all (composes with any strategy;
+  // Always reproduces the paper).
+  AdmissionPolicyConfig admission_policy;
 
   // Evening peak window used for all reported statistics (see DESIGN.md on
   // the paper's 7-11 PM / "three hour period" ambiguity).

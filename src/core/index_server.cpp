@@ -13,13 +13,17 @@ std::vector<DataSize> contributions(std::uint32_t peer_count,
 
 }  // namespace
 
+// admission_ == nullptr is the always-admit fast path: no virtual call, no
+// rate-meter query — byte-for-byte the pre-policy-engine request flow.
 IndexServer::IndexServer(NeighborhoodId id, std::uint32_t peer_count,
                          const SystemConfig& config,
-                         std::unique_ptr<cache::ReplacementStrategy> strategy,
+                         std::unique_ptr<cache::EvictionScorer> scorer,
+                         std::unique_ptr<cache::AdmissionPolicy> admission,
                          MediaServer& media_server, sim::SimTime horizon)
     : id_(id),
       config_(config),
-      strategy_(std::move(strategy)),
+      scorer_(std::move(scorer)),
+      admission_(std::move(admission)),
       media_server_(media_server),
       store_(contributions(peer_count, config.per_peer_storage)),
       coax_meter_(horizon, config.meter_bucket),
@@ -32,43 +36,53 @@ IndexServer::IndexServer(NeighborhoodId id, std::uint32_t peer_count,
   }
 }
 
+bool IndexServer::admission_allows(ProgramId program, sim::SimTime t) {
+  if (admission_ == nullptr) return true;
+  if (admission_->admit({program, t, coax_meter_.rate_at(t)})) return true;
+  ++counters_.admission_denials;
+  return false;
+}
+
 bool IndexServer::start_session(ProgramId program, DataSize program_size,
                                 sim::SimTime t) {
   ++counters_.sessions;
-  if (strategy_ == nullptr) return false;  // StrategyKind::None
-  strategy_->record_access(program, t);
+  if (scorer_ == nullptr) return false;  // StrategyKind::None
+  scorer_->record_access(program, t);
+  if (admission_ != nullptr) admission_->record_access(program, t);
 
   if (config_.admission == CacheAdmission::WholeProgram) {
     // Already admitted: keep filling it.
     if (store_.has_commitment(program)) return true;
+    if (!admission_allows(program, t)) return false;
     // Charge the whole program against capacity now, evicting victims the
-    // strategy scores below it ("it locates a collection of peers to store
+    // scorer ranks below it ("it locates a collection of peers to store
     // the segments ... instruct peers to delete programs").
     while (store_.committed_total() + program_size > store_.capacity()) {
-      const auto victim = strategy_->victim(t);
+      const auto victim = scorer_->victim(t);
       if (!victim) return false;  // program larger than the whole cache
       if (*victim == program) return false;
-      if (strategy_->score(program, t) <= strategy_->score(*victim, t)) {
+      if (scorer_->score(program, t) <= scorer_->score(*victim, t)) {
         return false;
       }
       store_.evict_program(*victim);
-      strategy_->on_evict(*victim);
+      scorer_->on_evict(*victim);
       ++counters_.evictions;
     }
     store_.commit_program(program, program_size);
-    strategy_->on_admit(program, t);
+    scorer_->on_admit(program, t);
     return true;
   }
 
   // Segment-granularity ablation.
   // Already (partially) cached: keep filling it.
   if (store_.has_program(program)) return true;
+  if (!admission_allows(program, t)) return false;
   // Free space: caching one more program costs nothing.
   if (store_.free_space() > DataSize{}) return true;
   // Full: admit only if the program outranks the current victim.
-  const auto victim = strategy_->victim(t);
+  const auto victim = scorer_->victim(t);
   if (!victim) return false;
-  return strategy_->score(program, t) > strategy_->score(*victim, t);
+  return scorer_->score(program, t) > scorer_->score(*victim, t);
 }
 
 void IndexServer::occupy_viewer_slot(PeerId viewer, sim::Interval interval) {
@@ -81,10 +95,10 @@ void IndexServer::fail_peer(PeerId peer) {
   const auto wiped = store_.wipe_peer(peer);
   ++counters_.peer_failures;
   counters_.wiped_bytes += wiped.freed.byte_count();
-  if (strategy_ != nullptr &&
+  if (scorer_ != nullptr &&
       config_.admission == CacheAdmission::Segment) {
     for (const ProgramId program : wiped.emptied_programs) {
-      if (strategy_->is_cached(program)) strategy_->on_evict(program);
+      if (scorer_->is_cached(program)) scorer_->on_evict(program);
     }
   }
 }
@@ -92,14 +106,14 @@ void IndexServer::fail_peer(PeerId peer) {
 bool IndexServer::make_room(cache::SegmentKey key, DataSize bytes,
                             sim::SimTime t) {
   while (!store_.can_place(key, bytes)) {
-    const auto victim = strategy_->victim(t);
+    const auto victim = scorer_->victim(t);
     if (!victim) return false;  // nothing cached, yet no room: bytes > capacity
     if (*victim == key.program) return false;  // would evict ourselves
-    if (strategy_->score(key.program, t) <= strategy_->score(*victim, t)) {
+    if (scorer_->score(key.program, t) <= scorer_->score(*victim, t)) {
       return false;  // incoming does not outrank the cheapest cached program
     }
     store_.evict_program(*victim);
-    strategy_->on_evict(*victim);
+    scorer_->on_evict(*victim);
     ++counters_.evictions;
   }
   return true;
@@ -107,7 +121,7 @@ bool IndexServer::make_room(cache::SegmentKey key, DataSize bytes,
 
 void IndexServer::try_fill(cache::SegmentKey key, DataSize bytes,
                            sim::SimTime t) {
-  if (strategy_ == nullptr) return;
+  if (scorer_ == nullptr) return;
   if (config_.admission == CacheAdmission::WholeProgram &&
       !store_.has_commitment(key.program)) {
     // The session's admit decision went stale: the program was evicted
@@ -118,8 +132,8 @@ void IndexServer::try_fill(cache::SegmentKey key, DataSize bytes,
   const auto peer = store_.store(key, bytes);
   VODCACHE_ASSERT(peer.has_value());  // make_room guaranteed placement
   if (store_.has_program(key.program) &&
-      !strategy_->is_cached(key.program)) {
-    strategy_->on_admit(key.program, t);
+      !scorer_->is_cached(key.program)) {
+    scorer_->on_admit(key.program, t);
   }
   ++counters_.fills;
 }

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "cache/admission.hpp"
 #include "cache/segment_store.hpp"
 #include "cache/strategy.hpp"
 #include "core/config.hpp"
@@ -38,9 +39,15 @@ enum class ServeResult {
 
 class IndexServer {
  public:
+  // Composes one eviction scorer with one admission policy.  `scorer` may
+  // be null (StrategyKind::None: no cache at all); `admission` may be null,
+  // which means always-admit (the paper's behaviour) — convenient for
+  // direct construction in tests, while the shard always passes a policy
+  // built from the registry.
   IndexServer(NeighborhoodId id, std::uint32_t peer_count,
               const SystemConfig& config,
-              std::unique_ptr<cache::ReplacementStrategy> strategy,
+              std::unique_ptr<cache::EvictionScorer> scorer,
+              std::unique_ptr<cache::AdmissionPolicy> admission,
               MediaServer& media_server, sim::SimTime horizon);
 
   // Session begins: records the popularity signal and decides whether this
@@ -73,8 +80,12 @@ class IndexServer {
     return static_cast<std::uint32_t>(peers_.size());
   }
   [[nodiscard]] const cache::SegmentStore& store() const { return store_; }
-  [[nodiscard]] const cache::ReplacementStrategy& strategy() const {
-    return *strategy_;
+  [[nodiscard]] const cache::EvictionScorer& scorer() const {
+    return *scorer_;
+  }
+  // Null means no policy gates admission (always-admit, the paper path).
+  [[nodiscard]] const cache::AdmissionPolicy* admission() const {
+    return admission_.get();
   }
   // All traffic on this neighborhood's coax (hits and misses alike).
   [[nodiscard]] const sim::RateMeter& coax_meter() const { return coax_meter_; }
@@ -89,6 +100,9 @@ class IndexServer {
     std::uint64_t busy_misses = 0;
     std::uint64_t evictions = 0;
     std::uint64_t fills = 0;
+    // Sessions whose program the admission policy refused to cache (not
+    // part of the report — always 0 under always-admit).
+    std::uint64_t admission_denials = 0;
     std::uint64_t peer_failures = 0;
     double hit_bits = 0.0;
     double miss_bits = 0.0;
@@ -103,10 +117,14 @@ class IndexServer {
   // the next victim first.
   bool make_room(cache::SegmentKey key, DataSize bytes, sim::SimTime t);
   void try_fill(cache::SegmentKey key, DataSize bytes, sim::SimTime t);
+  // The admission policy's verdict for a program missed at `t` (counts a
+  // denial).  True when no policy is configured.
+  [[nodiscard]] bool admission_allows(ProgramId program, sim::SimTime t);
 
   NeighborhoodId id_;
   const SystemConfig& config_;
-  std::unique_ptr<cache::ReplacementStrategy> strategy_;
+  std::unique_ptr<cache::EvictionScorer> scorer_;
+  std::unique_ptr<cache::AdmissionPolicy> admission_;
   MediaServer& media_server_;
   cache::SegmentStore store_;
   std::vector<hfc::SetTopBox> peers_;

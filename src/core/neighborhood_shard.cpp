@@ -2,10 +2,7 @@
 
 #include <algorithm>
 
-#include "cache/global_lfu.hpp"
-#include "cache/lfu.hpp"
-#include "cache/lru.hpp"
-#include "cache/oracle.hpp"
+#include "core/policy_registry.hpp"
 #include "util/assert.hpp"
 
 namespace vodcache::core {
@@ -20,27 +17,21 @@ NeighborhoodShard::NeighborhoodShard(
       future_(std::move(future)),
       board_(std::move(board)),
       media_(horizon, config.meter_bucket),
-      server_(id, peer_count, config, make_strategy(), media_, horizon),
+      server_(id, peer_count, config, make_scorer(), make_admission(), media_,
+              horizon),
       failures_(std::move(failures)),
       failure_flush_(failure_flush) {}
 
-std::unique_ptr<cache::ReplacementStrategy> NeighborhoodShard::make_strategy() {
-  switch (config_.strategy.kind) {
-    case StrategyKind::None:
-      return nullptr;
-    case StrategyKind::Lru:
-      return std::make_unique<cache::LruStrategy>();
-    case StrategyKind::Lfu:
-      return std::make_unique<cache::LfuStrategy>(config_.strategy.lfu_history);
-    case StrategyKind::Oracle:
-      return std::make_unique<cache::OracleStrategy>(
-          future_, config_.strategy.oracle_lookahead,
-          config_.strategy.oracle_refresh);
-    case StrategyKind::GlobalLfu:
-      return std::make_unique<cache::GlobalLfuStrategy>(board_, &clock_);
-  }
-  VODCACHE_ASSERT(false);
-  return nullptr;
+std::unique_ptr<cache::EvictionScorer> NeighborhoodShard::make_scorer() {
+  const ScorerContext context{config_.strategy, catalog_, &future_, board_,
+                              &clock_};
+  return scorer_entry(config_.strategy.kind).make(context);
+}
+
+std::unique_ptr<cache::AdmissionPolicy> NeighborhoodShard::make_admission() {
+  // No cache, no admission question.
+  if (config_.strategy.kind == StrategyKind::None) return nullptr;
+  return admission_entry(config_.admission_policy.kind).make(config_);
 }
 
 void NeighborhoodShard::apply_failures(sim::SimTime now) {

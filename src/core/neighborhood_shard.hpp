@@ -113,7 +113,10 @@ class NeighborhoodShard {
   // trace record with start >= t (all earlier starts ran before us).
   void advance_clock_to_boundary(sim::SimTime t);
 
-  [[nodiscard]] std::unique_ptr<cache::ReplacementStrategy> make_strategy();
+  // Policy-engine instantiation through the registry (config's strategy
+  // and admission kinds, this shard's context).
+  [[nodiscard]] std::unique_ptr<cache::EvictionScorer> make_scorer();
+  [[nodiscard]] std::unique_ptr<cache::AdmissionPolicy> make_admission();
 
   const trace::Catalog& catalog_;
   const SystemConfig& config_;

@@ -1,0 +1,148 @@
+#include "core/policy_registry.hpp"
+
+#include "cache/global_lfu.hpp"
+#include "cache/greedy_dual.hpp"
+#include "cache/lfu.hpp"
+#include "cache/lru.hpp"
+#include "cache/oracle.hpp"
+#include "util/assert.hpp"
+
+namespace vodcache::core {
+
+namespace {
+
+std::unique_ptr<cache::EvictionScorer> make_none(const ScorerContext&) {
+  return nullptr;
+}
+
+std::unique_ptr<cache::EvictionScorer> make_lru(const ScorerContext&) {
+  return std::make_unique<cache::LruStrategy>();
+}
+
+std::unique_ptr<cache::EvictionScorer> make_lfu(const ScorerContext& ctx) {
+  return std::make_unique<cache::LfuStrategy>(ctx.strategy.lfu_history);
+}
+
+std::unique_ptr<cache::EvictionScorer> make_oracle(const ScorerContext& ctx) {
+  VODCACHE_EXPECTS(ctx.future != nullptr);
+  return std::make_unique<cache::OracleStrategy>(*ctx.future,
+                                                 ctx.strategy.oracle_lookahead,
+                                                 ctx.strategy.oracle_refresh);
+}
+
+std::unique_ptr<cache::EvictionScorer> make_global_lfu(
+    const ScorerContext& ctx) {
+  VODCACHE_EXPECTS(ctx.board != nullptr && ctx.clock != nullptr);
+  return std::make_unique<cache::GlobalLfuStrategy>(ctx.board, ctx.clock);
+}
+
+std::unique_ptr<cache::EvictionScorer> make_greedy_dual(
+    const ScorerContext& ctx) {
+  return std::make_unique<cache::GreedyDualScorer>(ctx.catalog);
+}
+
+constexpr ScorerEntry kScorers[] = {
+    {StrategyKind::None, "none", "None",
+     "no caching; every request hits the central server", make_none},
+    {StrategyKind::Lru, "lru", "LRU",
+     "evict the least recently used program", make_lru},
+    {StrategyKind::Lfu, "lfu", "LFU",
+     "evict the least frequently used program (N-hour history)", make_lfu},
+    {StrategyKind::Oracle, "oracle", "Oracle",
+     "clairvoyant: keep what the next days will watch (upper bound)",
+     make_oracle},
+    {StrategyKind::GlobalLfu, "global", "GlobalLFU",
+     "LFU ranked by system-wide popularity, optionally lagged",
+     make_global_lfu},
+    {StrategyKind::GreedyDual, "greedydual", "GreedyDual",
+     "length-aware GreedyDual: value per byte with inflation aging",
+     make_greedy_dual},
+};
+
+std::unique_ptr<cache::AdmissionPolicy> make_always(const SystemConfig&) {
+  // Deliberately no policy object: the index server's null-admission fast
+  // path *is* always-admit — the pre-refactor code path, with no virtual
+  // call and no rate-meter query per session.  That makes the
+  // byte-identity argument structural.  (AlwaysAdmitPolicy still exists
+  // for direct composition in tests.)
+  return nullptr;
+}
+
+std::unique_ptr<cache::AdmissionPolicy> make_second_hit(
+    const SystemConfig& config) {
+  return std::make_unique<cache::SecondHitPolicy>(
+      config.admission_policy.probation_window);
+}
+
+std::unique_ptr<cache::AdmissionPolicy> make_coax_headroom(
+    const SystemConfig& config) {
+  return std::make_unique<cache::CoaxHeadroomPolicy>(
+      config.coax, config.admission_policy.headroom_fraction);
+}
+
+constexpr AdmissionEntry kAdmissions[] = {
+    {AdmissionKind::Always, "always", "always",
+     "every miss may enter the cache (the paper's behaviour)", make_always},
+    {AdmissionKind::SecondHit, "second-hit", "second-hit",
+     "probationary: admit only on the second access within a window",
+     make_second_hit},
+    {AdmissionKind::CoaxHeadroom, "coax-headroom", "coax-headroom",
+     "refuse admission while the neighborhood coax is near its cap",
+     make_coax_headroom},
+};
+
+template <typename Entry>
+std::string join_keys(std::span<const Entry> entries) {
+  std::string keys;
+  for (const auto& entry : entries) {
+    if (!keys.empty()) keys += '|';
+    keys += entry.key;
+  }
+  return keys;
+}
+
+}  // namespace
+
+std::span<const ScorerEntry> scorer_registry() { return kScorers; }
+
+std::span<const AdmissionEntry> admission_registry() { return kAdmissions; }
+
+const ScorerEntry* find_scorer(std::string_view key) {
+  for (const auto& entry : kScorers) {
+    if (key == entry.key) return &entry;
+  }
+  return nullptr;
+}
+
+const AdmissionEntry* find_admission(std::string_view key) {
+  for (const auto& entry : kAdmissions) {
+    if (key == entry.key) return &entry;
+  }
+  return nullptr;
+}
+
+const ScorerEntry& scorer_entry(StrategyKind kind) {
+  for (const auto& entry : kScorers) {
+    if (entry.kind == kind) return entry;
+  }
+  VODCACHE_ASSERT(false);
+  return kScorers[0];
+}
+
+const AdmissionEntry& admission_entry(AdmissionKind kind) {
+  for (const auto& entry : kAdmissions) {
+    if (entry.kind == kind) return entry;
+  }
+  VODCACHE_ASSERT(false);
+  return kAdmissions[0];
+}
+
+std::string scorer_keys() {
+  return join_keys(std::span<const ScorerEntry>(kScorers));
+}
+
+std::string admission_keys() {
+  return join_keys(std::span<const AdmissionEntry>(kAdmissions));
+}
+
+}  // namespace vodcache::core

@@ -1,0 +1,74 @@
+// PolicyRegistry: the single source of truth for cache policies.
+//
+// Every eviction scorer and admission policy the system can run is one
+// entry here: its enum selector, its CLI spelling, its report spelling, a
+// one-line summary, and the factory that builds it from a run's context.
+// config.cpp's to_string(), the CLI's parser and usage text, the benches'
+// sweep lists, and the shards' instantiation all read this table — so a
+// policy added here exists everywhere at once, and none of those surfaces
+// can drift from each other (pinned by tests/policy_registry_test.cpp
+// round-trips).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "cache/admission.hpp"
+#include "cache/future_index.hpp"
+#include "cache/popularity_board.hpp"
+#include "cache/strategy.hpp"
+#include "core/config.hpp"
+#include "sim/replay_clock.hpp"
+#include "trace/catalog.hpp"
+
+namespace vodcache::core {
+
+// Everything a scorer factory may need.  Per-shard: the oracle's future
+// index, GlobalLFU's replay board, and the shard's clock are shard-local
+// state owned by the caller and must outlive the scorer.
+struct ScorerContext {
+  const StrategyConfig& strategy;
+  const trace::Catalog& catalog;
+  const cache::FutureIndex* future = nullptr;              // Oracle
+  std::shared_ptr<const cache::ReplayBoard> board;         // GlobalLFU
+  const sim::ReplayClock* clock = nullptr;                 // GlobalLFU
+};
+
+struct ScorerEntry {
+  StrategyKind kind;
+  // CLI spelling (what --strategy parses).
+  const char* key;
+  // Report spelling (what to_string() and the JSON emit).
+  const char* display;
+  // One-liner for --list-strategies.
+  const char* summary;
+  // Returns nullptr only for StrategyKind::None (no cache at all).
+  std::unique_ptr<cache::EvictionScorer> (*make)(const ScorerContext&);
+};
+
+struct AdmissionEntry {
+  AdmissionKind kind;
+  const char* key;
+  const char* display;
+  const char* summary;
+  std::unique_ptr<cache::AdmissionPolicy> (*make)(const SystemConfig&);
+};
+
+[[nodiscard]] std::span<const ScorerEntry> scorer_registry();
+[[nodiscard]] std::span<const AdmissionEntry> admission_registry();
+
+// Lookup by CLI key; nullptr when unknown.
+[[nodiscard]] const ScorerEntry* find_scorer(std::string_view key);
+[[nodiscard]] const AdmissionEntry* find_admission(std::string_view key);
+
+// Lookup by enum; every enum value has exactly one entry.
+[[nodiscard]] const ScorerEntry& scorer_entry(StrategyKind kind);
+[[nodiscard]] const AdmissionEntry& admission_entry(AdmissionKind kind);
+
+// "none|lru|lfu|..." — for usage strings, derived so they cannot drift.
+[[nodiscard]] std::string scorer_keys();
+[[nodiscard]] std::string admission_keys();
+
+}  // namespace vodcache::core

@@ -22,8 +22,11 @@ double SimulationReport::reduction_vs(DataRate no_cache_peak_mean) const {
 
 std::string SimulationReport::to_string() const {
   std::ostringstream out;
-  out << "strategy=" << core::to_string(strategy)
-      << " users=" << user_count
+  out << "strategy=" << core::to_string(strategy);
+  if (admission_policy != AdmissionKind::Always) {
+    out << " admission=" << core::to_string(admission_policy);
+  }
+  out << " users=" << user_count
       << " neighborhoods=" << neighborhood_count << '\n';
   out << "peak server rate: mean=" << server_peak.mean.gbps()
       << " Gb/s  q05=" << server_peak.q05.gbps()

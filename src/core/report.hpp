@@ -60,6 +60,10 @@ struct SimulationReport {
   std::uint32_t neighborhood_count = 0;
   std::uint32_t user_count = 0;
   StrategyKind strategy = StrategyKind::None;
+  // Serialized (JSON and text) only when not Always, so reports from
+  // default-admission runs are byte-identical to the pre-policy-engine
+  // format (pinned in tests/policy_identity_test.cpp).
+  AdmissionKind admission_policy = AdmissionKind::Always;
   // Peak statistics exclude buckets before this time (warmup).
   sim::SimTime measured_from;
 

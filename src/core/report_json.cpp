@@ -23,6 +23,10 @@ void write_json(const SimulationReport& report, std::ostream& out,
                 bool include_neighborhoods) {
   out << "{";
   out << "\"strategy\":\"" << to_string(report.strategy) << "\",";
+  if (report.admission_policy != AdmissionKind::Always) {
+    out << "\"admission_policy\":\"" << to_string(report.admission_policy)
+        << "\",";
+  }
   out << "\"user_count\":" << report.user_count << ",";
   out << "\"neighborhood_count\":" << report.neighborhood_count << ",";
   out << "\"measured_from_ms\":" << report.measured_from.millis_count()

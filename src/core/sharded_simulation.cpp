@@ -253,6 +253,11 @@ SimulationReport ShardedSimulation::build_report(
     const MediaServer& media) const {
   SimulationReport report;
   report.strategy = config_.strategy.kind;
+  // No cache, no admission decisions: a none-strategy run must not claim
+  // a policy that was never instantiated (make_admission returns null).
+  report.admission_policy = config_.strategy.kind == StrategyKind::None
+                                ? AdmissionKind::Always
+                                : config_.admission_policy.kind;
   report.user_count = source_->user_count();
   report.neighborhood_count = topology_.neighborhood_count();
 

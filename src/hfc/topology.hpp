@@ -31,6 +31,13 @@ struct CoaxSpec {
   [[nodiscard]] DataRate available_high() const {
     return downstream_high - tv_broadcast;
   }
+
+  // Headroom query: is `current` still below `fraction` of the available
+  // band, judged against the conservative low-quality-plant figure?  The
+  // coax-headroom admission policy gates cache admission on this.
+  [[nodiscard]] bool vod_headroom(DataRate current, double fraction) const {
+    return current.bps() < fraction * available_low().bps();
+  }
 };
 
 class Topology {

@@ -63,6 +63,12 @@ DataRate RateMeter::bucket_rate(std::size_t i) const {
                                    bucket_.seconds_f());
 }
 
+DataRate RateMeter::rate_at(SimTime t) const {
+  VODCACHE_EXPECTS(t >= SimTime{} && t < horizon_);
+  return bucket_rate(
+      static_cast<std::size_t>(t.millis_count() / bucket_.millis_count()));
+}
+
 double RateMeter::total_bits() const {
   double sum = 0.0;
   for (const double b : bits_) sum += b;

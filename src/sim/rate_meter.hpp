@@ -33,6 +33,10 @@ class RateMeter {
   // Average rate sustained during bucket i.
   [[nodiscard]] DataRate bucket_rate(std::size_t i) const;
 
+  // Average rate of the bucket containing `t` (the coax-headroom admission
+  // gate's query).  `t` must lie inside the metered horizon.
+  [[nodiscard]] DataRate rate_at(SimTime t) const;
+
   [[nodiscard]] double total_bits() const;
   [[nodiscard]] double clipped_bits() const { return clipped_bits_; }
 

@@ -13,7 +13,7 @@
 //     at t runs after every session start before t and before any at t).
 //
 // Consumers (ReplayCursor via GlobalLfuStrategy) read the clock lazily, so
-// the plumbing stays out of the ReplacementStrategy interface.
+// the plumbing stays out of the EvictionScorer interface.
 #pragma once
 
 #include <cstddef>

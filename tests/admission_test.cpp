@@ -1,0 +1,254 @@
+// Admission half of the policy engine: unit semantics of each policy, the
+// index server's gating (a refusal must leave the cached set untouched),
+// and a system-level check that the coax-headroom gate actually changes
+// outcomes — the scenario the monolithic strategy could not express.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cache/admission.hpp"
+#include "cache/lru.hpp"
+#include "core/index_server.hpp"
+#include "core/report_json.hpp"
+#include "core/vod_system.hpp"
+#include "test_support.hpp"
+#include "trace/generator.hpp"
+
+namespace vodcache::core {
+namespace {
+
+using test::make_trace;
+using test::uniform_catalog;
+
+sim::SimTime at_hours(std::int64_t h) { return sim::SimTime::hours(h); }
+
+cache::AdmissionRequest request(std::uint32_t program, sim::SimTime t,
+                                DataRate coax = DataRate{}) {
+  return {ProgramId{program}, t, coax};
+}
+
+// ------------------------------------------------------------ second-hit
+
+TEST(SecondHitPolicy, FirstAccessNeverAdmits) {
+  cache::SecondHitPolicy policy(sim::SimTime::hours(24));
+  policy.record_access(ProgramId{7}, at_hours(1));
+  EXPECT_FALSE(policy.admit(request(7, at_hours(1))));
+}
+
+TEST(SecondHitPolicy, SecondAccessWithinWindowAdmits) {
+  cache::SecondHitPolicy policy(sim::SimTime::hours(24));
+  policy.record_access(ProgramId{7}, at_hours(1));
+  policy.record_access(ProgramId{7}, at_hours(10));
+  EXPECT_TRUE(policy.admit(request(7, at_hours(10))));
+}
+
+TEST(SecondHitPolicy, StaleFirstAccessDoesNotAdmit) {
+  cache::SecondHitPolicy policy(sim::SimTime::hours(24));
+  policy.record_access(ProgramId{7}, at_hours(1));
+  policy.record_access(ProgramId{7}, at_hours(30));  // 29 h later: stale
+  EXPECT_FALSE(policy.admit(request(7, at_hours(30))));
+  // But the probation clock restarted: a third access within the window of
+  // the second admits.
+  policy.record_access(ProgramId{7}, at_hours(40));
+  EXPECT_TRUE(policy.admit(request(7, at_hours(40))));
+}
+
+TEST(SecondHitPolicy, ProgramsAreIndependent) {
+  cache::SecondHitPolicy policy(sim::SimTime::hours(24));
+  policy.record_access(ProgramId{1}, at_hours(1));
+  policy.record_access(ProgramId{1}, at_hours(2));
+  policy.record_access(ProgramId{2}, at_hours(2));
+  EXPECT_TRUE(policy.admit(request(1, at_hours(2))));
+  EXPECT_FALSE(policy.admit(request(2, at_hours(2))));
+}
+
+TEST(SecondHitPolicy, AccessAtTimeZeroCounts) {
+  // A first access at t=0 must not be mistaken for "never accessed".
+  cache::SecondHitPolicy policy(sim::SimTime::hours(24));
+  policy.record_access(ProgramId{3}, sim::SimTime{});
+  policy.record_access(ProgramId{3}, at_hours(1));
+  EXPECT_TRUE(policy.admit(request(3, at_hours(1))));
+}
+
+// --------------------------------------------------------- coax-headroom
+
+TEST(CoaxHeadroomPolicy, AdmitsBelowAndRefusesAtThreshold) {
+  hfc::CoaxSpec spec;  // available_low = 4.9 - 3.3 = 1.6 Gb/s
+  cache::CoaxHeadroomPolicy policy(spec, 0.5);  // threshold 0.8 Gb/s
+  EXPECT_TRUE(policy.admit(
+      request(0, at_hours(1), DataRate::megabits_per_second(700))));
+  EXPECT_FALSE(policy.admit(
+      request(0, at_hours(1), DataRate::megabits_per_second(800))));
+  EXPECT_FALSE(policy.admit(
+      request(0, at_hours(1), DataRate::gigabits_per_second(1.2))));
+}
+
+TEST(CoaxSpec, VodHeadroomQuery) {
+  hfc::CoaxSpec spec;
+  EXPECT_TRUE(spec.vod_headroom(DataRate::gigabits_per_second(1.0), 1.0));
+  EXPECT_FALSE(spec.vod_headroom(DataRate::gigabits_per_second(1.6), 1.0));
+  EXPECT_FALSE(spec.vod_headroom(DataRate::gigabits_per_second(0.2), 0.1));
+}
+
+// ------------------------------------------------- index-server gating
+
+SystemConfig gated_config() {
+  SystemConfig config;
+  config.neighborhood_size = 4;
+  config.per_peer_storage = DataSize::gigabytes(1);
+  config.stream_rate = DataRate::megabits_per_second(8.0);
+  config.strategy.kind = StrategyKind::Lru;
+  config.warmup = sim::SimTime{};
+  return config;
+}
+
+constexpr auto kProgramSize = DataSize::megabytes(600);
+
+struct GatedFixture {
+  GatedFixture(std::unique_ptr<cache::AdmissionPolicy> admission,
+               SystemConfig cfg = gated_config())
+      : config(cfg),
+        media(sim::SimTime::days(1), config.meter_bucket),
+        server(NeighborhoodId{0}, config.neighborhood_size, config,
+               std::make_unique<cache::LruStrategy>(), std::move(admission),
+               media, sim::SimTime::days(1)) {}
+
+  SystemConfig config;
+  MediaServer media;
+  IndexServer server;
+};
+
+TEST(IndexServerAdmission, RefusalLeavesCacheUntouchedAndCounts) {
+  GatedFixture f(std::make_unique<cache::SecondHitPolicy>(at_hours(24)));
+
+  // First-ever session: second-hit refuses, nothing fills.
+  const bool admit =
+      f.server.start_session(ProgramId{0}, kProgramSize, sim::SimTime{});
+  EXPECT_FALSE(admit);
+  f.server.serve_segment(PeerId{0}, {ProgramId{0}, 0},
+                         {sim::SimTime{}, sim::SimTime::seconds(300)}, admit,
+                         true);
+  EXPECT_EQ(f.server.store().used(), DataSize{});
+  EXPECT_EQ(f.server.scorer().cached_count(), 0u);
+  EXPECT_EQ(f.server.counters().fills, 0u);
+  EXPECT_EQ(f.server.counters().admission_denials, 1u);
+
+  // Second session for the same program: admitted, fills.
+  const bool admit2 = f.server.start_session(ProgramId{0}, kProgramSize,
+                                             sim::SimTime::seconds(400));
+  EXPECT_TRUE(admit2);
+  f.server.serve_segment(
+      PeerId{1}, {ProgramId{0}, 0},
+      {sim::SimTime::seconds(400), sim::SimTime::seconds(700)}, admit2, true);
+  EXPECT_EQ(f.server.counters().fills, 1u);
+}
+
+TEST(IndexServerAdmission, CoaxGateClosesUnderLoadAndReopens) {
+  // Shrink the plant so one 8 Mb/s stream already saturates 50% of the
+  // available band: available = 20 - 10 = 10 Mb/s, threshold 5 Mb/s.
+  auto cfg = gated_config();
+  cfg.coax.downstream_low = DataRate::megabits_per_second(20);
+  cfg.coax.tv_broadcast = DataRate::megabits_per_second(10);
+  GatedFixture f(std::make_unique<cache::CoaxHeadroomPolicy>(cfg.coax, 0.5),
+                 cfg);
+
+  // Idle coax: admitted.
+  const bool admit =
+      f.server.start_session(ProgramId{0}, kProgramSize, sim::SimTime{});
+  EXPECT_TRUE(admit);
+  // One full-bucket transmission pushes the first bucket's average to
+  // 8 Mb/s, past the 5 Mb/s threshold...
+  f.server.serve_segment(PeerId{0}, {ProgramId{0}, 0},
+                         {sim::SimTime{}, sim::SimTime::minutes(15)}, admit,
+                         false);
+  EXPECT_FALSE(f.server.start_session(ProgramId{1}, kProgramSize,
+                                      sim::SimTime::minutes(5)));
+  EXPECT_EQ(f.server.counters().admission_denials, 1u);
+  // ...but the next bucket is quiet again: the gate reopens.
+  EXPECT_TRUE(f.server.start_session(ProgramId{2}, kProgramSize,
+                                     sim::SimTime::minutes(20)));
+}
+
+// ---------------------------------------------------------- system level
+
+// The acceptance scenario: with the coax band artificially tight, the
+// headroom gate must change the outcome of an otherwise identical run —
+// fewer admissions, fewer peer hits.
+TEST(AdmissionSystem, CoaxHeadroomGateChangesHitRate) {
+  auto workload = test::small_workload(3, 777);
+  workload.user_count = 300;
+  workload.program_count = 80;
+  workload.sessions_per_user_per_day = 6.0;
+  const auto trace = trace::generate_power_info_like(workload);
+
+  SystemConfig config;
+  config.neighborhood_size = 100;
+  config.per_peer_storage = DataSize::megabytes(400);
+  config.strategy.kind = StrategyKind::Lfu;
+  config.strategy.lfu_history = sim::SimTime::hours(24);
+  config.warmup = sim::SimTime::days(1);
+  // ~37 Mb/s effective band; evening peaks of a 100-peer neighborhood
+  // exceed 10% of it, so the gate closes during exactly the hours that
+  // generate most fills.
+  config.coax.downstream_low = DataRate::megabits_per_second(40);
+  config.coax.tv_broadcast = DataRate::megabits_per_second(3);
+  config.admission_policy.headroom_fraction = 0.1;
+
+  config.admission_policy.kind = AdmissionKind::Always;
+  VodSystem baseline(trace, config);
+  const auto base_report = baseline.run();
+
+  config.admission_policy.kind = AdmissionKind::CoaxHeadroom;
+  VodSystem gated(trace, config);
+  const auto gated_report = gated.run();
+
+  EXPECT_NE(gated_report.hit_ratio(), base_report.hit_ratio());
+  EXPECT_LT(gated_report.fills, base_report.fills);
+  // The gate is serialized into the gated report only.
+  EXPECT_NE(to_json(gated_report).find("\"admission_policy\":\"coax-headroom\""),
+            std::string::npos);
+  EXPECT_EQ(to_json(base_report).find("admission_policy"), std::string::npos);
+}
+
+// A none-strategy run instantiates no admission policy, so the report
+// must not claim one — whatever the config requested.
+TEST(AdmissionSystem, NoneStrategyReportsNoAdmissionPolicy) {
+  const auto trace = make_trace(uniform_catalog(1), {{0, 0, 0, 300}}, 1);
+  SystemConfig config;
+  config.neighborhood_size = 1;
+  config.strategy.kind = StrategyKind::None;
+  config.admission_policy.kind = AdmissionKind::CoaxHeadroom;
+  config.warmup = sim::SimTime{};
+  VodSystem system(trace, config);
+  const auto report = system.run();
+  EXPECT_EQ(report.admission_policy, AdmissionKind::Always);
+  EXPECT_EQ(to_json(report).find("admission_policy"), std::string::npos);
+}
+
+// Second-hit must also be visible at system level: one-hit wonders stop
+// being cached, so fills drop against the always-admit baseline.
+TEST(AdmissionSystem, SecondHitReducesFills) {
+  auto workload = test::small_workload(2, 4242);
+  const auto trace = trace::generate_power_info_like(workload);
+
+  SystemConfig config;
+  config.neighborhood_size = 100;
+  // Must exceed one 300 s x 8.06 Mb/s segment (~302 MB), or no peer can
+  // place anything and both runs degenerate to zero fills.
+  config.per_peer_storage = DataSize::megabytes(400);
+  config.strategy.kind = StrategyKind::Lru;
+  config.warmup = sim::SimTime{};
+
+  VodSystem baseline(trace, config);
+  const auto base_report = baseline.run();
+
+  config.admission_policy.kind = AdmissionKind::SecondHit;
+  VodSystem gated(trace, config);
+  const auto gated_report = gated.run();
+
+  EXPECT_LT(gated_report.fills, base_report.fills);
+  EXPECT_EQ(gated_report.sessions, base_report.sessions);
+}
+
+}  // namespace
+}  // namespace vodcache::core

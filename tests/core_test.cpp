@@ -42,8 +42,8 @@ struct Fixture {
       : config(cfg),
         media(sim::SimTime::days(1), config.meter_bucket),
         server(NeighborhoodId{0}, config.neighborhood_size, config,
-               std::make_unique<cache::LruStrategy>(), media,
-               sim::SimTime::days(1)) {}
+               std::make_unique<cache::LruStrategy>(), /*admission=*/nullptr,
+               media, sim::SimTime::days(1)) {}
 
   SystemConfig config;
   MediaServer media;
@@ -228,12 +228,12 @@ TEST(IndexServer, StrategyAndStoreStayConsistent) {
     f.server.serve_segment(PeerId{p % 2}, {ProgramId{p}, 0},
                            span(p * 600, p * 600 + 300), admit, true);
   }
-  // Every stored program is tracked by the strategy, and the strategy's
+  // Every stored program is tracked by the scorer, and the scorer's
   // cached set mirrors the store's whole-program commitments exactly.
   for (const auto program : f.server.store().stored_programs()) {
-    EXPECT_TRUE(f.server.strategy().is_cached(program));
+    EXPECT_TRUE(f.server.scorer().is_cached(program));
   }
-  EXPECT_EQ(f.server.strategy().cached_count(),
+  EXPECT_EQ(f.server.scorer().cached_count(),
             f.server.store().committed_program_count());
 }
 
@@ -413,6 +413,91 @@ TEST(VodSystem, FinalPartialSegmentBillsOnlyRemainingSeconds) {
   EXPECT_EQ(report.segments, 2u);
   EXPECT_DOUBLE_EQ(report.coax_bits, 8e6 * 450);
   EXPECT_DOUBLE_EQ(report.server_bits, 8e6 * 450);  // cold cache: all misses
+}
+
+// --------------------------------------------------- MediaServer::merge
+
+// The orchestrator folds one MediaServer slice per shard into the report's
+// central server; a neighborhood whose slice saw no sessions contributes an
+// all-zero meter and must be a perfect no-op.
+TEST(MediaServerMerge, ZeroSessionShardIsANoOp) {
+  const auto horizon = sim::SimTime::days(1);
+  const auto bucket = sim::SimTime::minutes(15);
+  MediaServer active(horizon, bucket);
+  active.serve({sim::SimTime::seconds(100), sim::SimTime::seconds(700)},
+               DataRate::megabits_per_second(8.0));
+  const auto bits_before = active.bits_served();
+  const auto meter_bits_before = active.meter().total_bits();
+
+  const MediaServer idle(horizon, bucket);
+  active.merge(idle);
+  EXPECT_EQ(active.transmissions(), 1u);
+  EXPECT_DOUBLE_EQ(active.bits_served(), bits_before);
+  EXPECT_DOUBLE_EQ(active.meter().total_bits(), meter_bits_before);
+
+  // The other direction: an empty accumulator absorbing a slice yields
+  // exactly that slice.
+  MediaServer fresh(horizon, bucket);
+  fresh.merge(active);
+  EXPECT_EQ(fresh.transmissions(), active.transmissions());
+  EXPECT_DOUBLE_EQ(fresh.bits_served(), active.bits_served());
+}
+
+// Two-slice merges commute bit-exactly: per-bucket sums are a + b vs b + a
+// (double addition is commutative), so either visit order yields identical
+// meters.  Three and more slices rely on the orchestrator's *fixed*
+// neighborhood-index order instead — double addition is not associative —
+// which is why build_report never reorders shards.
+TEST(MediaServerMerge, PairwiseMergeOrderIsBitExact) {
+  const auto horizon = sim::SimTime::days(1);
+  const auto bucket = sim::SimTime::minutes(15);
+  // Rates with non-trivial fractional bit counts in the shared buckets.
+  MediaServer a(horizon, bucket);
+  a.serve({sim::SimTime::seconds(100), sim::SimTime::seconds(1000)},
+          DataRate::megabits_per_second(8.06));
+  a.serve({sim::SimTime::seconds(2000), sim::SimTime::seconds(2300)},
+          DataRate::megabits_per_second(3.1));
+  MediaServer b(horizon, bucket);
+  b.serve({sim::SimTime::seconds(500), sim::SimTime::seconds(2100)},
+          DataRate::megabits_per_second(1.7));
+
+  MediaServer ab(horizon, bucket);
+  ab.merge(a);
+  ab.merge(b);
+  MediaServer ba(horizon, bucket);
+  ba.merge(b);
+  ba.merge(a);
+
+  EXPECT_EQ(ab.transmissions(), ba.transmissions());
+  EXPECT_EQ(ab.bits_served(), ba.bits_served());  // bit-exact, not NEAR
+  ASSERT_EQ(ab.meter().bucket_count(), ba.meter().bucket_count());
+  for (std::size_t i = 0; i < ab.meter().bucket_count(); ++i) {
+    EXPECT_EQ(ab.meter().bucket_bits(i), ba.meter().bucket_bits(i)) << i;
+  }
+}
+
+// Merging preserves the total regardless of how slices are grouped when
+// the values are exactly representable — the conservation property the
+// report's totals lean on.
+TEST(MediaServerMerge, TotalsConserveAcrossManySlices) {
+  const auto horizon = sim::SimTime::hours(2);
+  const auto bucket = sim::SimTime::minutes(15);
+  MediaServer sum(horizon, bucket);
+  double expected_bits = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    MediaServer slice(horizon, bucket);
+    // 2^i Mb/s over 1000 s: every bucket contribution is a dyadic rational
+    // times 1e6, so double addition is exact in any association.
+    const auto rate = DataRate::megabits_per_second(1 << i);
+    slice.serve({sim::SimTime::seconds(i * 1000),
+                 sim::SimTime::seconds(i * 1000 + 1000)},
+                rate);
+    expected_bits += rate.bps() * 1000.0;
+    sum.merge(slice);
+  }
+  EXPECT_EQ(sum.transmissions(), 5u);
+  EXPECT_DOUBLE_EQ(sum.bits_served(), expected_bits);
+  EXPECT_DOUBLE_EQ(sum.meter().total_bits(), expected_bits);
 }
 
 // Quitting mid-segment transmits only up to the quit time, and a session

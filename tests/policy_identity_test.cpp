@@ -1,0 +1,115 @@
+// Policy-engine migration pins: the full serialized report (every
+// neighborhood, every floating-point field) of each pre-existing strategy is
+// hashed and pinned here.  The admission x eviction decomposition was
+// required to be *invisible* for these configurations — the composable
+// engine with the default always-admit policy must reproduce the monolithic
+// ReplacementStrategy's reports byte for byte.
+//
+// If a change intentionally alters simulation semantics, regenerate the
+// constants: run this test, copy the "actual" values from the failure
+// output, and say why in the commit message.  A hash mismatch you did not
+// expect means the refactor changed behaviour — do not regenerate, debug.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "core/report_json.hpp"
+#include "core/vod_system.hpp"
+#include "test_support.hpp"
+#include "trace/generator.hpp"
+
+namespace vodcache::core {
+namespace {
+
+// FNV-1a 64-bit: stable across platforms and standard libraries, unlike
+// std::hash.  Collisions are irrelevant here — the input is one fixed
+// string per configuration.
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const unsigned char c : text) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+const trace::Trace& pinned_trace() {
+  static const trace::Trace trace = [] {
+    auto workload = test::small_workload(3, 777);
+    workload.user_count = 300;
+    workload.program_count = 80;
+    workload.sessions_per_user_per_day = 6.0;
+    return trace::generate_power_info_like(workload);
+  }();
+  return trace;
+}
+
+SystemConfig pinned_config(StrategyKind kind) {
+  SystemConfig config;
+  config.neighborhood_size = 40;  // 300 users -> 8 neighborhoods
+  config.per_peer_storage = DataSize::megabytes(400);
+  config.strategy.kind = kind;
+  config.strategy.lfu_history = sim::SimTime::hours(24);
+  config.warmup = sim::SimTime::days(1);
+  return config;
+}
+
+std::uint64_t report_hash(const SystemConfig& config) {
+  VodSystem system(pinned_trace(), config);
+  return fnv1a(to_json(system.run(), /*include_neighborhoods=*/true));
+}
+
+struct GoldenCase {
+  const char* name;
+  StrategyKind kind;
+  std::int64_t lag_minutes;
+  CacheAdmission admission;
+  bool failures;
+  std::uint64_t golden;
+};
+
+// Hashes generated at the last commit before the policy-engine
+// decomposition (PR 3 head), with the monolithic ReplacementStrategy.
+const GoldenCase kGoldenCases[] = {
+    {"None", StrategyKind::None, 0, CacheAdmission::WholeProgram, false,
+     0x920B3F4F8AD09931ULL},
+    {"Lru", StrategyKind::Lru, 0, CacheAdmission::WholeProgram, false,
+     0xF04C114BD5D8CC55ULL},
+    {"Lfu", StrategyKind::Lfu, 0, CacheAdmission::WholeProgram, false,
+     0x7BE417FF7EFB9446ULL},
+    {"Oracle", StrategyKind::Oracle, 0, CacheAdmission::WholeProgram, false,
+     0x498A9A30436FE676ULL},
+    {"GlobalLfu", StrategyKind::GlobalLfu, 0, CacheAdmission::WholeProgram,
+     false, 0x2D33D495C04E303BULL},
+    {"GlobalLfuLagged", StrategyKind::GlobalLfu, 30,
+     CacheAdmission::WholeProgram, false, 0x7C992930F58FB89DULL},
+    {"LfuSegmentAdmission", StrategyKind::Lfu, 0, CacheAdmission::Segment,
+     false, 0xE8C7D60E3BE8F546ULL},
+    {"LfuFailureWaves", StrategyKind::Lfu, 0, CacheAdmission::WholeProgram,
+     true, 0x51F09B8D6822F619ULL},
+};
+
+class PreRefactorIdentity : public ::testing::TestWithParam<GoldenCase> {};
+
+INSTANTIATE_TEST_SUITE_P(Strategies, PreRefactorIdentity,
+                         ::testing::ValuesIn(kGoldenCases),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+TEST_P(PreRefactorIdentity, ReportBytesMatchMonolithicStrategy) {
+  const auto& c = GetParam();
+  auto config = pinned_config(c.kind);
+  config.strategy.global_lag = sim::SimTime::minutes(c.lag_minutes);
+  config.admission = c.admission;
+  if (c.failures) {
+    config.peer_failures.push_back({sim::SimTime::hours(20), 0.4, 11});
+    config.peer_failures.push_back({sim::SimTime::hours(50), 0.3, 12});
+  }
+  EXPECT_EQ(report_hash(config), c.golden)
+      << "actual hash 0x" << std::hex << report_hash(config);
+}
+
+}  // namespace
+}  // namespace vodcache::core

@@ -59,6 +59,14 @@ TEST(StrategyKind, ToStringCoversAll) {
   EXPECT_STREQ(core::to_string(core::StrategyKind::Lfu), "LFU");
   EXPECT_STREQ(core::to_string(core::StrategyKind::Oracle), "Oracle");
   EXPECT_STREQ(core::to_string(core::StrategyKind::GlobalLfu), "GlobalLFU");
+  EXPECT_STREQ(core::to_string(core::StrategyKind::GreedyDual), "GreedyDual");
+}
+
+TEST(AdmissionKind, ToStringCoversAll) {
+  EXPECT_STREQ(core::to_string(core::AdmissionKind::Always), "always");
+  EXPECT_STREQ(core::to_string(core::AdmissionKind::SecondHit), "second-hit");
+  EXPECT_STREQ(core::to_string(core::AdmissionKind::CoaxHeadroom),
+               "coax-headroom");
 }
 
 TEST(CacheAdmission, ToStringCoversAll) {

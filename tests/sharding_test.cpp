@@ -60,7 +60,8 @@ INSTANTIATE_TEST_SUITE_P(
                       StrategyCase{StrategyKind::Oracle, 0, "Oracle"},
                       StrategyCase{StrategyKind::GlobalLfu, 0, "GlobalLfu"},
                       StrategyCase{StrategyKind::GlobalLfu, 30,
-                                   "GlobalLfuLagged"}),
+                                   "GlobalLfuLagged"},
+                      StrategyCase{StrategyKind::GreedyDual, 0, "GreedyDual"}),
     [](const auto& info) { return std::string(info.param.name); });
 
 TEST_P(ThreadCountInvariance, ReportBytesIdenticalAcrossThreadCounts) {
@@ -77,6 +78,29 @@ TEST(ThreadCountInvarianceExtras, SegmentAdmissionWithReplication) {
   config.admission = CacheAdmission::Segment;
   config.replicate_on_busy = true;
   const auto serial = run_json(sharding_trace(), config, 1);
+  EXPECT_EQ(serial, run_json(sharding_trace(), config, 8));
+}
+
+// Admission policies are per-shard state fed by per-shard signals (the
+// shard's own sessions, the shard's own coax meter), so they must be as
+// thread-invisible as the scorers.
+TEST(ThreadCountInvarianceExtras, SecondHitAdmission) {
+  auto config = sharding_config(StrategyKind::Lfu);
+  config.admission_policy.kind = AdmissionKind::SecondHit;
+  config.admission_policy.probation_window = sim::SimTime::hours(12);
+  const auto serial = run_json(sharding_trace(), config, 1);
+  EXPECT_EQ(serial, run_json(sharding_trace(), config, 8));
+}
+
+TEST(ThreadCountInvarianceExtras, CoaxHeadroomAdmission) {
+  auto config = sharding_config(StrategyKind::GreedyDual);
+  config.admission_policy.kind = AdmissionKind::CoaxHeadroom;
+  // Tight band so the gate actually fires during the run.
+  config.coax.downstream_low = DataRate::megabits_per_second(40);
+  config.coax.tv_broadcast = DataRate::megabits_per_second(3);
+  config.admission_policy.headroom_fraction = 0.1;
+  const auto serial = run_json(sharding_trace(), config, 1);
+  EXPECT_EQ(serial, run_json(sharding_trace(), config, 2));
   EXPECT_EQ(serial, run_json(sharding_trace(), config, 8));
 }
 

@@ -26,10 +26,16 @@
 // System options (run):
 //   --neighborhood N      subscribers per neighborhood        [1000]
 //   --per-peer-gb N       storage contribution per set-top    [10]
-//   --strategy S          none|lru|lfu|oracle|global          [lfu]
+//   --strategy S          eviction scorer (see --list-strategies)  [lfu]
+//   --admission-policy P  admission gate (see --list-strategies)   [always]
+//   --probation-hours N   second-hit probation window         [24]
+//   --headroom F          coax-headroom admission fraction    [0.9]
 //   --history-hours N     LFU/global history window           [72]
 //   --lag-minutes N       global popularity batching lag      [0]
 //   --segment-admission   charge only stored bytes (ablation)
+//   --list-strategies     print every registered scorer and admission
+//                         policy (the registry is the single source of
+//                         truth for these names), then exit
 //   --replicate           replicate stream-saturated segments
 //   --threads N           worker threads for the sharded replay;
 //                         the report is bit-identical for any N  [1]
@@ -50,6 +56,7 @@
 
 #include "analysis/load_analysis.hpp"
 #include "analysis/table.hpp"
+#include "core/policy_registry.hpp"
 #include "core/report_json.hpp"
 #include "core/vod_system.hpp"
 #include "trace/csv_io.hpp"
@@ -115,19 +122,41 @@ double parse_fraction(const std::string& text, const char* option) {
   return *value;
 }
 
+// Both parsers read the policy registry, so the accepted names and the
+// error text can never drift from what the engine actually instantiates.
 core::StrategyKind parse_strategy(const std::string& name) {
-  if (name == "none") return core::StrategyKind::None;
-  if (name == "lru") return core::StrategyKind::Lru;
-  if (name == "lfu") return core::StrategyKind::Lfu;
-  if (name == "oracle") return core::StrategyKind::Oracle;
-  if (name == "global") return core::StrategyKind::GlobalLfu;
-  usage("unknown strategy (use none|lru|lfu|oracle|global)");
+  if (const auto* entry = core::find_scorer(name)) return entry->kind;
+  usage(("unknown strategy (use " + core::scorer_keys() + ")").c_str());
+}
+
+core::AdmissionKind parse_admission(const std::string& name) {
+  if (const auto* entry = core::find_admission(name)) return entry->kind;
+  usage(("unknown admission policy (use " + core::admission_keys() + ")")
+            .c_str());
+}
+
+[[noreturn]] void list_strategies() {
+  analysis::Table scorers({"strategy", "report name", "what it does"});
+  for (const auto& entry : core::scorer_registry()) {
+    scorers.add_row({entry.key, entry.display, entry.summary});
+  }
+  std::cout << "eviction strategies (--strategy):\n";
+  scorers.print(std::cout);
+
+  analysis::Table admissions({"policy", "report name", "what it does"});
+  for (const auto& entry : core::admission_registry()) {
+    admissions.add_row({entry.key, entry.display, entry.summary});
+  }
+  std::cout << "\nadmission policies (--admission-policy):\n";
+  admissions.print(std::cout);
+  std::exit(0);
 }
 
 CliOptions parse(int argc, char** argv) {
   if (argc < 2) usage("missing command");
   CliOptions options;
   options.command = argv[1];
+  if (options.command == "--list-strategies") list_strategies();
   options.workload.days = 21;
 
   auto need_value = [&](int& i) -> std::string {
@@ -167,6 +196,16 @@ CliOptions parse(int argc, char** argv) {
           parse_int(need_value(i), "--per-peer-gb", 1, kMaxGigabytes));
     } else if (arg == "--strategy") {
       options.system.strategy.kind = parse_strategy(need_value(i));
+    } else if (arg == "--admission-policy") {
+      options.system.admission_policy.kind = parse_admission(need_value(i));
+    } else if (arg == "--probation-hours") {
+      options.system.admission_policy.probation_window = sim::SimTime::hours(
+          parse_int(need_value(i), "--probation-hours", 0, kMaxHours));
+    } else if (arg == "--headroom") {
+      options.system.admission_policy.headroom_fraction =
+          parse_fraction(need_value(i), "--headroom");
+    } else if (arg == "--list-strategies") {
+      list_strategies();
     } else if (arg == "--history-hours") {
       options.system.strategy.lfu_history = sim::SimTime::hours(
           parse_int(need_value(i), "--history-hours", 0, kMaxHours));
@@ -346,8 +385,13 @@ int cmd_run(const CliOptions& options) {
       analysis::demand_peak(source, options.system.stream_rate,
                             options.system.peak_window, options.system.warmup);
 
-  std::cerr << "simulating " << core::to_string(options.system.strategy.kind)
-            << " / " << options.system.neighborhood_size << " peers x "
+  std::cerr << "simulating " << core::to_string(options.system.strategy.kind);
+  if (options.system.strategy.kind != core::StrategyKind::None &&
+      options.system.admission_policy.kind != core::AdmissionKind::Always) {
+    std::cerr << " + " << core::to_string(options.system.admission_policy.kind)
+              << " admission";
+  }
+  std::cerr << " / " << options.system.neighborhood_size << " peers x "
             << options.system.per_peer_storage.as_gigabytes() << " GB ("
             << core::to_string(options.system.admission) << " admission, "
             << options.system.threads << " thread"
