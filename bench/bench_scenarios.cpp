@@ -1,0 +1,233 @@
+// Scenario sweep: every shipped scenario file crossed with the full
+// policy matrix (eviction scorer x admission policy, straight from the
+// PolicyRegistry).
+//
+// The paper's evaluation is one workload shape; the scenario engine
+// (src/scenario/) makes adversarial shapes — flash crowds, release waves,
+// decay regimes, skewed neighborhoods, failure storms — config files.
+// This bench answers the question those files exist for: which policies
+// hold up when the workload stops being polite?  Reference expectations:
+//
+//  * the flash-crowd and pileup scenarios cache well (one hot title is
+//    easy); the decay and skew scenarios are the hard ones;
+//  * hit rates must *differ* across scenarios — if every scenario lands
+//    at the same hit rate the adaptors are not doing anything, and the
+//    bench exits nonzero (the acceptance gate for the scenario engine).
+//
+// Scenario files come from VODCACHE_SCENARIO_DIR (env override; defaults
+// to the repo's examples/scenarios, baked in at compile time).  A
+// scenario added there appears in this sweep with no bench change, just
+// like a policy added to the registry.
+//
+// Emits BENCH_scenarios.json (override with VODCACHE_SCENARIOS_JSON):
+//   {bench, scenarios:[{name, summary, users, days, no_cache_gbps,
+//    headroom_fraction, rows:[{scorer, admission, hit_ratio,
+//    byte_hit_ratio, server_peak_gbps, reduction_pct, fills, evictions,
+//    admission_denials}]}], lfu_hit_rate_spread}
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_support.hpp"
+
+#include "core/policy_registry.hpp"
+#include "scenario/scenario.hpp"
+
+#ifndef VODCACHE_SCENARIO_DIR
+#define VODCACHE_SCENARIO_DIR "examples/scenarios"
+#endif
+
+using namespace vodcache;
+
+namespace {
+
+struct Row {
+  std::string scorer;
+  std::string admission;
+  double hit_ratio;
+  double byte_hit_ratio;
+  double server_peak_gbps;
+  double reduction_pct;
+  std::uint64_t fills;
+  std::uint64_t evictions;
+  std::uint64_t admission_denials;
+};
+
+struct ScenarioResult {
+  scenario::ScenarioSpec spec;
+  double no_cache_gbps;
+  double headroom_fraction;
+  std::vector<Row> rows;
+  double lfu_always_hit_ratio;
+};
+
+// The scenario name (a file stem) and summary (free text) are the only
+// user-authored strings in the JSON — escape them rather than emit a
+// corrupt artifact when a summary contains a quote.
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // control chars
+    out += c;
+  }
+  return out;
+}
+
+std::vector<std::string> scenario_files() {
+  const char* env = std::getenv("VODCACHE_SCENARIO_DIR");
+  const std::string dir = env != nullptr ? env : VODCACHE_SCENARIO_DIR;
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".scn") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Scenario x policy matrix: adversarial workloads vs every policy",
+      "beyond the paper — its evaluation is one workload shape; these are "
+      "the shapes operators fear");
+
+  const auto files = scenario_files();
+  if (files.empty()) {
+    std::cerr << "FAIL: no .scn files found (set VODCACHE_SCENARIO_DIR)\n";
+    return 1;
+  }
+
+  std::vector<ScenarioResult> results;
+  for (const auto& file : files) {
+    ScenarioResult result;
+    result.spec = scenario::load_scenario_file(file);
+
+    core::SystemConfig base;
+    base.strategy.kind = core::StrategyKind::Lfu;
+    scenario::apply_system(result.spec, base);
+
+    // Materialize the scenario once (these are bench-sized workloads);
+    // the streamed twin is pinned byte-identical in tests/scenario_test.
+    const scenario::ScenarioWorkload workload(result.spec,
+                                              base.neighborhood_size);
+    const auto trace = trace::materialize(workload.source());
+
+    const auto demand = analysis::demand_peak(trace, base.stream_rate,
+                                              base.peak_window, base.warmup);
+    result.no_cache_gbps = demand.mean.gbps();
+
+    // Calibrate the coax-headroom gate per scenario from the always-run's
+    // own peak coax (see bench_policy_matrix): the gate provably engages
+    // during *this* scenario's peaks, whatever its scale.
+    const auto calibration = bench::run_system(trace, base);
+    result.headroom_fraction = std::min(
+        1.0, std::max(0.01, calibration.coax_peak_pooled.mean.bps() /
+                                base.coax.available_low().bps()));
+
+    std::cout << "\n--- scenario: " << result.spec.name << " ("
+              << result.spec.summary << ")\n";
+    analysis::Table table({"scorer", "admission", "hit rate", "byte hit",
+                           "Gb/s [q05, q95]", "reduction", "denials"});
+    for (const auto& scorer : core::scorer_registry()) {
+      if (scorer.kind == core::StrategyKind::None) continue;
+      for (const auto& admission : core::admission_registry()) {
+        auto config = base;
+        config.strategy.kind = scorer.kind;
+        config.admission_policy.kind = admission.kind;
+        config.admission_policy.headroom_fraction = result.headroom_fraction;
+        const auto report = (scorer.kind == core::StrategyKind::Lfu &&
+                             admission.kind == core::AdmissionKind::Always)
+                                ? calibration
+                                : bench::run_system(trace, config);
+
+        Row row;
+        row.scorer = scorer.display;
+        row.admission = admission.display;
+        row.hit_ratio = report.hit_ratio();
+        row.byte_hit_ratio = report.byte_hit_ratio();
+        row.server_peak_gbps = report.server_peak.mean.gbps();
+        row.reduction_pct = 100.0 * report.reduction_vs(demand.mean);
+        row.fills = report.fills;
+        row.evictions = report.evictions;
+        row.admission_denials = report.admission_denials;
+        result.rows.push_back(row);
+        if (scorer.kind == core::StrategyKind::Lfu &&
+            admission.kind == core::AdmissionKind::Always) {
+          result.lfu_always_hit_ratio = row.hit_ratio;
+        }
+
+        table.add_row({row.scorer, row.admission,
+                       analysis::Table::num(row.hit_ratio, 3),
+                       analysis::Table::num(row.byte_hit_ratio, 3),
+                       bench::fmt_peak(report.server_peak),
+                       analysis::Table::num(row.reduction_pct, 1) + "%",
+                       std::to_string(row.admission_denials)});
+      }
+    }
+    table.print(std::cout);
+    results.push_back(std::move(result));
+  }
+
+  // The acceptance gate: scenarios must actually change outcomes.  Judged
+  // on the (LFU, always) cell — present in every scenario's sweep.
+  double lo = results.front().lfu_always_hit_ratio;
+  double hi = lo;
+  for (const auto& result : results) {
+    lo = std::min(lo, result.lfu_always_hit_ratio);
+    hi = std::max(hi, result.lfu_always_hit_ratio);
+  }
+  const double spread = hi - lo;
+  std::cout << "\nLFU/always hit-rate spread across scenarios: "
+            << analysis::Table::num(spread, 3) << " (" <<
+            analysis::Table::num(lo, 3) << " .. " << analysis::Table::num(hi, 3)
+            << ")\n";
+
+  const char* path_env = std::getenv("VODCACHE_SCENARIOS_JSON");
+  const std::string path =
+      path_env != nullptr ? path_env : "BENCH_scenarios.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "FAIL: cannot write " << path << '\n';
+    return 1;
+  }
+  out << "{\"bench\":\"scenarios\",\"scenarios\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& result = results[i];
+    out << (i ? "," : "") << "{\"name\":\"" << json_escape(result.spec.name)
+        << "\",\"summary\":\"" << json_escape(result.spec.summary)
+        << "\",\"users\":" << result.spec.workload.user_count
+        << ",\"days\":" << result.spec.workload.days
+        << ",\"no_cache_gbps\":" << result.no_cache_gbps
+        << ",\"headroom_fraction\":" << result.headroom_fraction
+        << ",\"rows\":[";
+    for (std::size_t j = 0; j < result.rows.size(); ++j) {
+      const auto& row = result.rows[j];
+      out << (j ? "," : "") << "{\"scorer\":\"" << row.scorer
+          << "\",\"admission\":\"" << row.admission
+          << "\",\"hit_ratio\":" << row.hit_ratio
+          << ",\"byte_hit_ratio\":" << row.byte_hit_ratio
+          << ",\"server_peak_gbps\":" << row.server_peak_gbps
+          << ",\"reduction_pct\":" << row.reduction_pct
+          << ",\"fills\":" << row.fills << ",\"evictions\":" << row.evictions
+          << ",\"admission_denials\":" << row.admission_denials << '}';
+    }
+    out << "]}";
+  }
+  out << "],\"lfu_hit_rate_spread\":" << spread << "}\n";
+  std::cout << "wrote " << path << '\n';
+
+  if (spread <= 0.0) {
+    std::cerr << "FAIL: every scenario produced the same LFU hit rate — the "
+                 "scenario adaptors changed nothing\n";
+    return 1;
+  }
+  return 0;
+}

@@ -100,8 +100,8 @@ class IndexServer {
     std::uint64_t busy_misses = 0;
     std::uint64_t evictions = 0;
     std::uint64_t fills = 0;
-    // Sessions whose program the admission policy refused to cache (not
-    // part of the report — always 0 under always-admit).
+    // Sessions whose program the admission policy refused to cache
+    // (always 0 under always-admit; reported only when a gate is active).
     std::uint64_t admission_denials = 0;
     std::uint64_t peer_failures = 0;
     double hit_bits = 0.0;

@@ -36,7 +36,11 @@ std::string SimulationReport::to_string() const {
       << " Mb/s  q95=" << coax_peak_pooled.q95.mbps() << " Mb/s\n";
   out << "sessions=" << sessions << " segments=" << segments
       << " hits=" << hits << " cold=" << cold_misses
-      << " busy=" << busy_misses << " hit_ratio=" << hit_ratio() << '\n';
+      << " busy=" << busy_misses << " hit_ratio=" << hit_ratio();
+  if (admission_policy != AdmissionKind::Always) {
+    out << " denials=" << admission_denials;
+  }
+  out << '\n';
   return out.str();
 }
 

@@ -25,6 +25,10 @@ struct NeighborhoodReport {
   std::uint64_t hits = 0;
   std::uint64_t cold_misses = 0;
   std::uint64_t busy_misses = 0;
+  // Sessions whose program the admission policy refused to cache.  Always
+  // 0 under always-admit; serialized only when a gate is active, so
+  // default-admission reports keep their pre-policy-engine bytes.
+  std::uint64_t admission_denials = 0;
   DataSize cache_used;
   DataSize cache_capacity;
 };
@@ -50,6 +54,8 @@ struct SimulationReport {
   std::uint64_t busy_misses = 0;
   std::uint64_t evictions = 0;
   std::uint64_t fills = 0;
+  // See NeighborhoodReport::admission_denials.
+  std::uint64_t admission_denials = 0;
   std::uint64_t peer_failures = 0;
   double wiped_bytes = 0.0;
   double server_bits = 0.0;

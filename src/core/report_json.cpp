@@ -46,7 +46,13 @@ void write_json(const SimulationReport& report, std::ostream& out,
       << "\"segments\":" << report.segments << ","
       << "\"hits\":" << report.hits << ","
       << "\"cold_misses\":" << report.cold_misses << ","
-      << "\"busy_misses\":" << report.busy_misses << ","
+      << "\"busy_misses\":" << report.busy_misses << ",";
+  // Only when a gate is active: default-admission reports must keep their
+  // pre-policy-engine bytes (pinned in tests/policy_identity_test.cpp).
+  if (report.admission_policy != AdmissionKind::Always) {
+    out << "\"admission_denials\":" << report.admission_denials << ",";
+  }
+  out
       << "\"evictions\":" << report.evictions << ","
       << "\"fills\":" << report.fills << ","
       << "\"peer_failures\":" << report.peer_failures << ","
@@ -69,8 +75,11 @@ void write_json(const SimulationReport& report, std::ostream& out,
       write_peak(out, "fiber_peak", n.fiber_peak);
       out << ",\"sessions\":" << n.sessions << ",\"hits\":" << n.hits
           << ",\"cold_misses\":" << n.cold_misses
-          << ",\"busy_misses\":" << n.busy_misses
-          << ",\"cache_used_bytes\":" << n.cache_used.byte_count()
+          << ",\"busy_misses\":" << n.busy_misses;
+      if (report.admission_policy != AdmissionKind::Always) {
+        out << ",\"admission_denials\":" << n.admission_denials;
+      }
+      out << ",\"cache_used_bytes\":" << n.cache_used.byte_count()
           << ",\"cache_capacity_bytes\":" << n.cache_capacity.byte_count()
           << '}';
     }

@@ -302,6 +302,7 @@ SimulationReport ShardedSimulation::build_report(
     n.hits = c.hits;
     n.cold_misses = c.cold_misses;
     n.busy_misses = c.busy_misses;
+    n.admission_denials = c.admission_denials;
     n.cache_used = server.store().used();
     n.cache_capacity = server.store().capacity();
     report.neighborhoods.push_back(n);
@@ -313,6 +314,7 @@ SimulationReport ShardedSimulation::build_report(
     report.busy_misses += c.busy_misses;
     report.evictions += c.evictions;
     report.fills += c.fills;
+    report.admission_denials += c.admission_denials;
     report.peer_failures += c.peer_failures;
     report.wiped_bytes += c.wiped_bytes;
     report.peer_bits += server.peer_meter().total_bits();

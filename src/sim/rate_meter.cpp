@@ -58,9 +58,16 @@ double RateMeter::bucket_bits(std::size_t i) const {
   return bits_[i];
 }
 
+double RateMeter::bucket_seconds(std::size_t i) const {
+  VODCACHE_EXPECTS(i < bits_.size());
+  const auto begin_ms = static_cast<std::int64_t>(i) * bucket_.millis_count();
+  const auto end_ms =
+      std::min(begin_ms + bucket_.millis_count(), horizon_.millis_count());
+  return static_cast<double>(end_ms - begin_ms) / 1000.0;
+}
+
 DataRate RateMeter::bucket_rate(std::size_t i) const {
-  return DataRate::bits_per_second(bucket_bits(i) /
-                                   bucket_.seconds_f());
+  return DataRate::bits_per_second(bucket_bits(i) / bucket_seconds(i));
 }
 
 DataRate RateMeter::rate_at(SimTime t) const {
@@ -82,7 +89,7 @@ std::vector<DataRate> RateMeter::hourly_profile(SimTime from) const {
     if (bucket_begin(i) < from) continue;
     const int hour = bucket_begin(i).hour_of_day();
     bits_per_hour[hour] += bits_[i];
-    seconds_per_hour[hour] += bucket_.seconds_f();
+    seconds_per_hour[hour] += bucket_seconds(i);
   }
   std::vector<DataRate> profile(24);
   for (int h = 0; h < 24; ++h) {
@@ -99,7 +106,7 @@ std::vector<double> RateMeter::window_samples_bps(HourWindow window,
   std::vector<double> samples;
   for (std::size_t i = 0; i < bits_.size(); ++i) {
     if (bucket_begin(i) >= from && window.contains(bucket_begin(i))) {
-      samples.push_back(bits_[i] / bucket_.seconds_f());
+      samples.push_back(bits_[i] / bucket_seconds(i));
     }
   }
   return samples;

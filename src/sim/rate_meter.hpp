@@ -30,11 +30,20 @@ class RateMeter {
 
   [[nodiscard]] SimTime bucket_begin(std::size_t i) const;
   [[nodiscard]] double bucket_bits(std::size_t i) const;
-  // Average rate sustained during bucket i.
+  // Seconds of the metered horizon that bucket i covers: the nominal
+  // bucket width, except the final bucket when the horizon is not a
+  // bucket multiple — that one is clipped at the horizon, and every
+  // average below divides by the clipped width (a wire carrying rate r
+  // for the whole covered span reports r, not r x covered/nominal).
+  [[nodiscard]] double bucket_seconds(std::size_t i) const;
+  // Average rate sustained during (the covered part of) bucket i.
   [[nodiscard]] DataRate bucket_rate(std::size_t i) const;
 
   // Average rate of the bucket containing `t` (the coax-headroom admission
-  // gate's query).  `t` must lie inside the metered horizon.
+  // gate's query).  `t` must lie inside the metered horizon [0, horizon);
+  // a `t` exactly on a bucket boundary reads the bucket *beginning* there
+  // (half-open buckets, like every interval in the simulator).  Before
+  // any add() the meter is all zeros, so early queries return 0.
   [[nodiscard]] DataRate rate_at(SimTime t) const;
 
   [[nodiscard]] double total_bits() const;

@@ -20,6 +20,16 @@ namespace {
   throw std::runtime_error(message.str());
 }
 
+// A '\r' survivor of std::getline means the file has Windows CRLF line
+// endings; the trailing '\r' would otherwise glue itself onto the last
+// field and fail as "malformed number" — say what is actually wrong.
+void reject_crlf(const std::string& line, std::size_t line_number) {
+  if (!line.empty() && line.back() == '\r') {
+    parse_error(line_number,
+                "CRLF line ending (convert the file to Unix LF endings)");
+  }
+}
+
 // Splits a comma-separated line into fields (no quoting; the format never
 // needs it).
 std::vector<std::string_view> split_fields(std::string_view line) {
@@ -81,6 +91,10 @@ bool consume_header_line(const std::vector<std::string_view>& fields,
   if (kind == "session") return false;
   if (kind == "meta") {
     if (fields.size() != 3) parse_error(line_number, "meta needs 2 fields");
+    if (header.seen_meta) {
+      parse_error(line_number,
+                  "duplicate meta line (one meta record per trace)");
+    }
     header.user_count = parse_number<std::uint32_t>(fields[1], line_number);
     header.horizon = sim::SimTime::millis(
         parse_number<std::int64_t>(fields[2], line_number));
@@ -161,6 +175,7 @@ Trace read_csv(std::istream& in) {
 
   while (std::getline(in, line)) {
     ++line_number;
+    reject_crlf(line, line_number);
     if (line.empty() || line[0] == '#') continue;
     const auto fields = split_fields(line);
     if (consume_header_line(fields, line_number, header)) continue;
@@ -206,6 +221,7 @@ class CsvStream final : public SessionStream {
     std::string line;
     while (std::getline(in_, line)) {
       ++line_number_;
+      reject_crlf(line, line_number_);
       if (line.empty() || line[0] == '#') continue;
       const auto fields = split_fields(line);
       const std::string_view kind = fields[0];
@@ -248,6 +264,7 @@ CsvSource::CsvSource(std::string path) : path_(std::move(path)) {
 
   while (std::getline(in, line)) {
     ++line_number;
+    reject_crlf(line, line_number);
     if (line.empty() || line[0] == '#') continue;
     const auto fields = split_fields(line);
     if (consume_header_line(fields, line_number, header)) continue;

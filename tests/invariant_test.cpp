@@ -1,0 +1,225 @@
+// Property-based invariant harness: ~50 seeded-random configurations —
+// strategies x admission policies x thread counts x scenario adaptors —
+// each driven through a small simulation, with conservation invariants
+// asserted on every report:
+//
+//   * counter conservation — segments == hits + cold + busy misses, at
+//     the report level and inside every neighborhood, and the totals are
+//     exactly the sum of the neighborhoods;
+//   * admission denials are bounded by sessions, and exactly zero when no
+//     gate is active (always-admit, or no cache at all);
+//   * byte conservation — every bit on a coax was served by a peer or by
+//     the central server (coax_bits == peer_bits + server_bits, up to
+//     floating-point summation order);
+//   * no neighborhood's cached set ever exceeds its capacity;
+//   * every meter and peak statistic is non-negative;
+//   * the streamed and the materialized replay produce byte-identical
+//     serialized reports.
+//
+// Unlike the identity pins (policy_identity_test), nothing here hashes a
+// specific outcome: these properties must hold for *any* configuration,
+// which is what lets the sweep draw its configs at random.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/policy_registry.hpp"
+#include "core/report_json.hpp"
+#include "core/vod_system.hpp"
+#include "scenario/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace vodcache {
+namespace {
+
+struct RandomCase {
+  scenario::ScenarioSpec spec;
+  core::SystemConfig config;
+};
+
+// Draws one configuration from the full cross space.  Everything derives
+// from the case seed, so failures reproduce exactly.
+RandomCase draw_case(std::uint64_t seed) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + 0x1CEB00DA);
+  RandomCase c;
+
+  auto& w = c.spec.workload;
+  w.days = static_cast<std::int32_t>(2 + rng.uniform_u64(2));  // 2-3
+  w.user_count = static_cast<std::uint32_t>(120 + rng.uniform_u64(240));
+  w.program_count = static_cast<std::uint32_t>(30 + rng.uniform_u64(50));
+  w.sessions_per_user_per_day = rng.uniform_double(3.0, 6.0);
+  w.seed = rng.next_u64();
+  const auto horizon_hours = static_cast<std::int64_t>(w.days) * 24;
+
+  auto& config = c.config;
+  config.neighborhood_size = static_cast<std::uint32_t>(30 + rng.uniform_u64(60));
+  config.per_peer_storage =
+      DataSize::megabytes(100 + rng.uniform_int(0, 300));
+  config.warmup = sim::SimTime::hours(rng.uniform_int(0, 24));
+  config.strategy.lfu_history = sim::SimTime::hours(rng.uniform_int(12, 48));
+  if (rng.bernoulli(0.3)) {
+    config.strategy.global_lag = sim::SimTime::minutes(30);
+  }
+  if (rng.bernoulli(0.3)) {
+    config.admission = core::CacheAdmission::Segment;
+  }
+  const auto scorers = core::scorer_registry();
+  config.strategy.kind = scorers[rng.uniform_u64(scorers.size())].kind;
+  const auto admissions = core::admission_registry();
+  config.admission_policy.kind =
+      admissions[rng.uniform_u64(admissions.size())].kind;
+  config.admission_policy.probation_window =
+      sim::SimTime::hours(rng.uniform_int(1, 24));
+  // Low enough that the coax-headroom gate actually fires on some draws.
+  config.admission_policy.headroom_fraction = rng.uniform_double(0.005, 0.9);
+  const std::uint32_t thread_choices[] = {1, 2, 3, 8};
+  config.threads = thread_choices[rng.uniform_u64(4)];
+  const sim::SimTime chunk_choices[] = {sim::SimTime::minutes(15),
+                                        sim::SimTime::hours(1),
+                                        sim::SimTime::hours(5)};
+  config.stream_chunk = chunk_choices[rng.uniform_u64(3)];
+
+  // Scenario axis: each adaptor joins the stack with its own probability,
+  // parameters drawn inside the ranges the workload makes valid.
+  auto& flash = c.spec.flash_crowd;
+  if (rng.bernoulli(0.4)) {
+    flash.enabled = true;
+    flash.title_rank = static_cast<std::uint32_t>(1 + rng.uniform_u64(5));
+    flash.duration = sim::SimTime::hours(rng.uniform_int(1, 3));
+    flash.start = sim::SimTime::hours(
+        rng.uniform_int(0, horizon_hours - 3));
+    flash.capture = rng.uniform_double(0.2, 1.0);
+    flash.seed = rng.next_u64();
+  }
+  auto& waves = c.spec.release_waves;
+  if (rng.bernoulli(0.4)) {
+    waves.enabled = true;
+    waves.period = sim::SimTime::hours(rng.uniform_int(6, 24));
+    waves.window = sim::SimTime::hours(rng.uniform_int(1, 24));
+    waves.wave_size = static_cast<std::uint32_t>(1 + rng.uniform_u64(10));
+    waves.capture = rng.uniform_double(0.2, 0.8);
+    waves.seed = rng.next_u64();
+  }
+  auto& skew = c.spec.skew;
+  if (rng.bernoulli(0.4)) {
+    skew.enabled = true;
+    skew.hot_neighborhoods = 1;
+    skew.population_share = rng.uniform_double(0.3, 0.9);
+    if (rng.bernoulli(0.5)) {
+      skew.regions = static_cast<std::uint32_t>(2 + rng.uniform_u64(3));
+      skew.regional_affinity = rng.uniform_double(0.3, 0.9);
+    }
+    skew.seed = rng.next_u64();
+  }
+  auto& storm = c.spec.storm;
+  if (rng.bernoulli(0.4)) {
+    storm.enabled = true;
+    storm.start = sim::SimTime::hours(rng.uniform_int(0, horizon_hours));
+    storm.waves = static_cast<std::uint32_t>(1 + rng.uniform_u64(3));
+    storm.period = sim::SimTime::hours(rng.uniform_int(2, 12));
+    storm.fraction = rng.uniform_double(0.1, 0.5);
+    storm.seed = rng.next_u64();
+    scenario::apply_system(c.spec, config);  // expand the storm schedule
+  }
+  return c;
+}
+
+void expect_non_negative(const sim::PeakStats& peak, const char* what) {
+  EXPECT_GE(peak.mean.bps(), 0.0) << what;
+  EXPECT_GE(peak.q05.bps(), 0.0) << what;
+  EXPECT_GE(peak.q95.bps(), 0.0) << what;
+  EXPECT_GE(peak.max.bps(), 0.0) << what;
+}
+
+class RandomConfig : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomConfig, ::testing::Range<std::uint64_t>(1, 51),
+                         [](const auto& info) {
+                           return "cfg" + std::to_string(info.param);
+                         });
+
+TEST_P(RandomConfig, ConservationInvariantsHoldOnEveryReport) {
+  const auto c = draw_case(GetParam());
+  SCOPED_TRACE("strategy=" +
+               std::string(core::to_string(c.config.strategy.kind)) +
+               " admission=" +
+               std::string(core::to_string(c.config.admission_policy.kind)) +
+               " threads=" + std::to_string(c.config.threads));
+
+  const scenario::ScenarioWorkload workload(c.spec,
+                                            c.config.neighborhood_size);
+  core::VodSystem streamed(workload.source(), c.config);
+  const auto report = streamed.run();
+
+  // --- counter conservation ---------------------------------------------
+  EXPECT_GT(report.sessions, 0u);
+  EXPECT_GE(report.segments, report.sessions);
+  EXPECT_EQ(report.segments,
+            report.hits + report.cold_misses + report.busy_misses);
+  std::uint64_t sessions = 0, hits = 0, cold = 0, busy = 0, denials = 0;
+  for (const auto& n : report.neighborhoods) {
+    // Each neighborhood conserves its own request flow...
+    EXPECT_LE(n.hits, report.hits);
+    EXPECT_EQ(n.sessions == 0, n.hits + n.cold_misses + n.busy_misses == 0);
+    sessions += n.sessions;
+    hits += n.hits;
+    cold += n.cold_misses;
+    busy += n.busy_misses;
+    denials += n.admission_denials;
+    // ...and never holds more than its capacity.
+    EXPECT_LE(n.cache_used, n.cache_capacity);
+    expect_non_negative(n.coax_peak, "coax_peak");
+    expect_non_negative(n.peer_peak, "peer_peak");
+    // Fiber = coax - peer bucket by bucket; peer traffic is a subset of
+    // coax traffic, so only summation order can push it below zero.
+    EXPECT_GE(n.fiber_peak.mean.bps(), -1e-3);
+  }
+  EXPECT_EQ(report.sessions, sessions);
+  EXPECT_EQ(report.hits, hits);
+  EXPECT_EQ(report.cold_misses, cold);
+  EXPECT_EQ(report.busy_misses, busy);
+  EXPECT_EQ(report.admission_denials, denials);
+
+  // --- admission denials ------------------------------------------------
+  EXPECT_LE(report.admission_denials, report.sessions);
+  if (report.admission_policy == core::AdmissionKind::Always ||
+      report.strategy == core::StrategyKind::None) {
+    EXPECT_EQ(report.admission_denials, 0u);
+  }
+  if (report.strategy == core::StrategyKind::None) {
+    EXPECT_EQ(report.hits, 0u);
+    EXPECT_EQ(report.fills, 0u);
+  }
+
+  // --- byte conservation ------------------------------------------------
+  EXPECT_GE(report.server_bits, 0.0);
+  EXPECT_GE(report.peer_bits, 0.0);
+  EXPECT_GE(report.coax_bits, 0.0);
+  EXPECT_NEAR(report.coax_bits, report.peer_bits + report.server_bits,
+              1e-6 * report.coax_bits + 1.0);
+  EXPECT_GE(report.hit_ratio(), 0.0);
+  EXPECT_LE(report.hit_ratio(), 1.0);
+  EXPECT_GE(report.byte_hit_ratio(), 0.0);
+  EXPECT_LE(report.byte_hit_ratio(), 1.0);
+  EXPECT_GE(report.wiped_bytes, 0.0);
+
+  // --- meters -----------------------------------------------------------
+  expect_non_negative(report.server_peak, "server_peak");
+  expect_non_negative(report.coax_peak_pooled, "coax_peak_pooled");
+  ASSERT_EQ(report.server_hourly.size(), 24u);
+  for (const auto& rate : report.server_hourly) {
+    EXPECT_GE(rate.bps(), 0.0);
+  }
+
+  // --- streamed == materialized report bytes ----------------------------
+  const auto trace = trace::materialize(workload.source());
+  core::VodSystem materialized(trace, c.config);
+  EXPECT_EQ(core::to_json(materialized.run(), true),
+            core::to_json(report, true))
+      << "materialized twin diverged from the streamed run";
+}
+
+}  // namespace
+}  // namespace vodcache

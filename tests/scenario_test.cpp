@@ -1,0 +1,509 @@
+// Scenario engine: file-format strictness, registry coverage, adaptor
+// semantics, and the acceptance pin — every shipped scenario file runs
+// bit-identically across thread counts and streamed-vs-materialized.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/report_json.hpp"
+#include "core/vod_system.hpp"
+#include "scenario/adaptors.hpp"
+#include "scenario/scenario.hpp"
+#include "test_support.hpp"
+#include "trace/generator.hpp"
+
+namespace vodcache::scenario {
+namespace {
+
+ScenarioSpec parse_text(const std::string& text) {
+  std::istringstream in(text);
+  return parse_scenario(in, "inline");
+}
+
+// EXPECT that parsing fails and the message mentions every fragment.
+void expect_parse_error(const std::string& text,
+                        const std::vector<std::string>& fragments) {
+  try {
+    (void)parse_text(text);
+    FAIL() << "expected a parse error for:\n" << text;
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    for (const auto& fragment : fragments) {
+      EXPECT_NE(what.find(fragment), std::string::npos)
+          << "message '" << what << "' lacks '" << fragment << "'";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioParser, FullSpecRoundTrips) {
+  const auto spec = parse_text(R"(# comment
+[scenario]
+summary = the kitchen sink
+
+[workload]
+days = 9
+users = 1234
+programs = 321
+sessions_per_day = 3.5
+seed = 42
+
+[popularity]
+zipf_exponent = 0.8
+freshness_tau_days = 0.75
+
+[system]
+neighborhood = 111
+per_peer_gb = 2
+warmup_days = 2
+
+[flash_crowd]
+title_rank = 3
+start_hour = 50
+duration_hours = 6
+capture = 0.9
+seed = 7
+
+[release_waves]
+period_hours = 8
+window_hours = 4
+wave_size = 5
+capture = 0.25
+
+[neighborhood_skew]
+hot_neighborhoods = 2
+population_share = 0.4
+regions = 3
+regional_affinity = 0.6
+
+[failure_storm]
+start_hour = 24
+waves = 3
+period_hours = 6
+fraction = 0.15
+)");
+  EXPECT_EQ(spec.name, "inline");
+  EXPECT_EQ(spec.summary, "the kitchen sink");
+  EXPECT_EQ(spec.workload.days, 9);
+  EXPECT_EQ(spec.workload.user_count, 1234u);
+  EXPECT_EQ(spec.workload.program_count, 321u);
+  EXPECT_DOUBLE_EQ(spec.workload.sessions_per_user_per_day, 3.5);
+  EXPECT_EQ(spec.workload.seed, 42u);
+  EXPECT_DOUBLE_EQ(spec.workload.zipf_exponent, 0.8);
+  EXPECT_DOUBLE_EQ(spec.workload.freshness_tau_days, 0.75);
+  ASSERT_TRUE(spec.neighborhood_size);
+  EXPECT_EQ(*spec.neighborhood_size, 111u);
+  ASSERT_TRUE(spec.per_peer_gb);
+  EXPECT_EQ(*spec.per_peer_gb, 2);
+  ASSERT_TRUE(spec.warmup_days);
+  EXPECT_EQ(*spec.warmup_days, 2);
+
+  EXPECT_TRUE(spec.flash_crowd.enabled);
+  EXPECT_EQ(spec.flash_crowd.title_rank, 3u);
+  EXPECT_EQ(spec.flash_crowd.start, sim::SimTime::hours(50));
+  EXPECT_EQ(spec.flash_crowd.duration, sim::SimTime::hours(6));
+  EXPECT_DOUBLE_EQ(spec.flash_crowd.capture, 0.9);
+  EXPECT_EQ(spec.flash_crowd.seed, 7u);
+
+  EXPECT_TRUE(spec.release_waves.enabled);
+  EXPECT_EQ(spec.release_waves.period, sim::SimTime::hours(8));
+  EXPECT_EQ(spec.release_waves.window, sim::SimTime::hours(4));
+  EXPECT_EQ(spec.release_waves.wave_size, 5u);
+
+  EXPECT_TRUE(spec.skew.enabled);
+  EXPECT_EQ(spec.skew.hot_neighborhoods, 2u);
+  EXPECT_DOUBLE_EQ(spec.skew.population_share, 0.4);
+  EXPECT_EQ(spec.skew.regions, 3u);
+
+  EXPECT_TRUE(spec.storm.enabled);
+  EXPECT_EQ(spec.storm.start, sim::SimTime::hours(24));
+  EXPECT_EQ(spec.storm.waves, 3u);
+  EXPECT_DOUBLE_EQ(spec.storm.fraction, 0.15);
+}
+
+TEST(ScenarioParser, BaseWorkloadSeedsUnsetKeys) {
+  // A file that omits a [workload] key inherits the caller's value (the
+  // CLI passes its current --days/--users state), never the raw
+  // generator default — `--days 10` before `--scenario` survives a file
+  // that only sets users.
+  trace::GeneratorConfig base;
+  base.days = 10;
+  base.user_count = 5000;
+  std::istringstream in("[workload]\nusers = 77\n");
+  const auto spec = parse_scenario(in, "inline", base);
+  EXPECT_EQ(spec.workload.days, 10);
+  EXPECT_EQ(spec.workload.user_count, 77u);
+}
+
+TEST(ScenarioParser, SectionsWithoutKeysAreEnabledWithDefaults) {
+  const auto spec = parse_text("[flash_crowd]\n");
+  EXPECT_TRUE(spec.flash_crowd.enabled);
+  EXPECT_EQ(spec.flash_crowd.title_rank, 1u);
+  EXPECT_FALSE(spec.release_waves.enabled);
+  EXPECT_FALSE(spec.skew.enabled);
+  EXPECT_FALSE(spec.storm.enabled);
+}
+
+TEST(ScenarioParser, CrlfAndWhitespaceAreTolerated) {
+  const auto spec =
+      parse_text("[workload]\r\n  days   =  5 \r\n\r\n# c\r\nusers = 77\r\n");
+  EXPECT_EQ(spec.workload.days, 5);
+  EXPECT_EQ(spec.workload.user_count, 77u);
+}
+
+TEST(ScenarioParser, RejectsUnknownSection) {
+  expect_parse_error("[flash_mob]\n",
+                     {"line 1", "unknown section", "flash_crowd"});
+}
+
+TEST(ScenarioParser, RejectsUnknownKey) {
+  expect_parse_error("[flash_crowd]\nboost = 3\n",
+                     {"line 2", "unknown key 'boost'", "title_rank"});
+}
+
+TEST(ScenarioParser, RejectsMalformedValue) {
+  expect_parse_error("[workload]\ndays = 3O\n",
+                     {"line 2", "malformed value", "days"});
+}
+
+TEST(ScenarioParser, RejectsOutOfRangeValue) {
+  expect_parse_error("[flash_crowd]\ncapture = 1.5\n",
+                     {"line 2", "capture", "[0"});
+}
+
+TEST(ScenarioParser, SeedsAreFullRangeUnsigned) {
+  // uint64 seeds beyond int64 range are legal...
+  const auto spec =
+      parse_text("[workload]\nseed = 9223372036854775808\n");
+  EXPECT_EQ(spec.workload.seed, 9223372036854775808ULL);
+  // ...and a negative seed is malformed, not a silent wraparound.
+  expect_parse_error("[workload]\nseed = -1\n",
+                     {"line 2", "malformed value", "seed"});
+}
+
+TEST(ScenarioParser, RejectsDuplicateKey) {
+  expect_parse_error("[workload]\ndays = 3\ndays = 4\n",
+                     {"line 3", "duplicate key 'days'", "line 2"});
+}
+
+TEST(ScenarioParser, RejectsDuplicateSection) {
+  expect_parse_error("[workload]\ndays = 3\n[workload]\n",
+                     {"line 3", "duplicate section"});
+}
+
+TEST(ScenarioParser, RejectsKeyBeforeSection) {
+  expect_parse_error("days = 3\n", {"line 1", "before any [section]"});
+}
+
+TEST(ScenarioParser, RejectsMalformedHeaderAndEmptyValue) {
+  expect_parse_error("[workload\n", {"line 1", "section header"});
+  expect_parse_error("[workload]\ndays =\n", {"line 2", "empty value"});
+  expect_parse_error("[workload]\njust words\n",
+                     {"line 2", "key = value"});
+}
+
+TEST(ScenarioRegistry, EverySectionIsFindableAndListed) {
+  const auto keys = section_keys();
+  for (const auto& entry : section_registry()) {
+    EXPECT_EQ(find_section(entry.key), &entry);
+    EXPECT_NE(keys.find(entry.key), std::string::npos);
+  }
+  EXPECT_EQ(find_section("no_such_section"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Validation and system application
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioValidate, WindowsMustFitTheHorizon) {
+  auto spec = parse_text("[workload]\ndays = 2\n[flash_crowd]\n"
+                         "start_hour = 47\nduration_hours = 2\n");
+  EXPECT_THROW(spec.validate(), std::runtime_error);
+  spec.flash_crowd.start = sim::SimTime::hours(40);
+  EXPECT_NO_THROW(spec.validate());
+
+  auto storm = parse_text("[workload]\ndays = 2\n[failure_storm]\n"
+                          "start_hour = 72\n");
+  EXPECT_THROW(storm.validate(), std::runtime_error);
+}
+
+TEST(ScenarioValidate, SkewMustHaveAnEffect) {
+  auto spec = parse_text("[neighborhood_skew]\nhot_neighborhoods = 1\n");
+  EXPECT_THROW(spec.validate(), std::runtime_error);
+  spec.skew.population_share = 0.5;
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(ScenarioApplySystem, OverridesAndStormSchedule) {
+  const auto spec = parse_text(R"([system]
+neighborhood = 123
+per_peer_gb = 3
+warmup_days = 2
+[failure_storm]
+start_hour = 10
+waves = 3
+period_hours = 5
+fraction = 0.2
+seed = 99
+)");
+  core::SystemConfig config;
+  apply_system(spec, config);
+  EXPECT_EQ(config.neighborhood_size, 123u);
+  EXPECT_EQ(config.per_peer_storage, DataSize::gigabytes(3));
+  EXPECT_EQ(config.warmup, sim::SimTime::days(2));
+  ASSERT_EQ(config.peer_failures.size(), 3u);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(config.peer_failures[k].time,
+              sim::SimTime::hours(10) + sim::SimTime::hours(5 * k));
+    EXPECT_DOUBLE_EQ(config.peer_failures[k].fraction, 0.2);
+    EXPECT_EQ(config.peer_failures[k].seed, 99u + k);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptor semantics
+// ---------------------------------------------------------------------------
+
+// A 4-program catalog with distinct weights: program 1 is the hottest,
+// program 3 is a late release (introduced at hour 60).
+trace::Catalog weighted_catalog() {
+  std::vector<trace::ProgramInfo> programs(4);
+  const double weights[] = {1.0, 9.0, 4.0, 6.0};
+  for (std::size_t i = 0; i < programs.size(); ++i) {
+    programs[i].length = sim::SimTime::minutes(30);
+    programs[i].introduced =
+        i == 3 ? sim::SimTime::hours(60) : sim::SimTime{};
+    programs[i].base_weight = weights[i];
+  }
+  return trace::Catalog(std::move(programs));
+}
+
+std::vector<trace::SessionRecord> drain(const trace::SessionSource& source) {
+  std::vector<trace::SessionRecord> sessions;
+  auto stream = source.open();
+  trace::SessionRecord record;
+  while (stream->next(record)) sessions.push_back(record);
+  return sessions;
+}
+
+void expect_same_sessions(const std::vector<trace::SessionRecord>& a,
+                          const std::vector<trace::SessionRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].start, b[i].start) << "at " << i;
+    EXPECT_EQ(a[i].user, b[i].user) << "at " << i;
+    EXPECT_EQ(a[i].program, b[i].program) << "at " << i;
+    EXPECT_EQ(a[i].duration, b[i].duration) << "at " << i;
+  }
+}
+
+TEST(FlashCrowdAdaptor, RedirectsExactlyTheWindowAtFullCapture) {
+  // Sessions at hours 1 (before), 10..13 (inside), 20 (after).
+  const auto trace = test::make_trace(
+      weighted_catalog(),
+      {{3600, 0, 0, 600},
+       {36000, 1, 2, 2400},  // duration 40 min > target length 30 min
+       {37000, 2, 0, 600},
+       {43000, 3, 2, 900},
+       {72000, 4, 0, 600}},
+      5, 2);
+  const trace::TraceSource base(trace);
+  FlashCrowdSpec spec;
+  spec.enabled = true;
+  spec.title_rank = 1;
+  spec.start = sim::SimTime::hours(10);
+  spec.duration = sim::SimTime::hours(4);
+  spec.capture = 1.0;
+  const FlashCrowdSource crowd(base, spec);
+  // Rank 1 among programs introduced by hour 10 = program 1 (weight 9;
+  // program 3's weight 6 is not introduced yet and must be skipped).
+  EXPECT_EQ(crowd.target(), ProgramId{1});
+
+  const auto sessions = drain(crowd);
+  ASSERT_EQ(sessions.size(), 5u);
+  EXPECT_EQ(sessions[0].program, ProgramId{0});  // before the window
+  EXPECT_EQ(sessions[1].program, ProgramId{1});
+  // Clamped to the target's 30-minute length.
+  EXPECT_EQ(sessions[1].duration, sim::SimTime::minutes(30));
+  EXPECT_EQ(sessions[2].program, ProgramId{1});
+  EXPECT_EQ(sessions[3].program, ProgramId{1});
+  EXPECT_EQ(sessions[4].program, ProgramId{0});  // after the window
+
+  // Replays are identical, and the materialized twin matches the stream.
+  expect_same_sessions(sessions, drain(crowd));
+  expect_same_sessions(sessions, trace::materialize(crowd).sessions());
+}
+
+TEST(FlashCrowdAdaptor, RejectsImpossibleSpecs) {
+  const auto trace =
+      test::make_trace(weighted_catalog(), {{3600, 0, 0, 600}}, 1, 2);
+  const trace::TraceSource base(trace);
+  FlashCrowdSpec spec;
+  spec.enabled = true;
+  spec.start = sim::SimTime::hours(47);
+  spec.duration = sim::SimTime::hours(2);  // past the 2-day horizon
+  EXPECT_THROW(FlashCrowdSource(base, spec), std::runtime_error);
+  spec.start = sim::SimTime{};
+  spec.duration = sim::SimTime::hours(1);
+  spec.title_rank = 4;  // only 3 programs introduced at hour 0
+  EXPECT_THROW(FlashCrowdSource(base, spec), std::runtime_error);
+}
+
+TEST(ReleaseWavesAdaptor, BlocksRotateAndRespectIntroduction) {
+  // 10 sessions, one per hour, all on program 0.
+  std::vector<test::SessionSpec> specs;
+  for (int h = 0; h < 10; ++h) {
+    specs.push_back({h * 3600, 0, 0, 600});
+  }
+  const auto trace = test::make_trace(weighted_catalog(), specs, 1, 2);
+  const trace::TraceSource base(trace);
+  ReleaseWavesSpec spec;
+  spec.enabled = true;
+  spec.period = sim::SimTime::hours(4);
+  spec.window = sim::SimTime::hours(4);
+  spec.wave_size = 1;
+  spec.capture = 1.0;
+  const ReleaseWavesSource waves(base, spec);
+
+  // 2-day horizon / 4h period = 12 waves; block k is program k mod 4,
+  // except program 3 (introduced at hour 60) drops out of waves that
+  // begin before its release.
+  ASSERT_EQ(waves.wave_count(), 12u);
+  EXPECT_EQ(waves.wave_block(0), std::vector<std::uint32_t>{0});
+  EXPECT_EQ(waves.wave_block(1), std::vector<std::uint32_t>{1});
+  // Program 3 releases at hour 60, after every wave start in the 2-day
+  // horizon — its waves (k = 3, 7, 11) all have empty blocks.
+  EXPECT_EQ(waves.wave_block(3), std::vector<std::uint32_t>{});
+  EXPECT_EQ(waves.wave_block(11), std::vector<std::uint32_t>{});
+
+  const auto sessions = drain(waves);
+  ASSERT_EQ(sessions.size(), 10u);
+  for (int h = 0; h < 10; ++h) {
+    const auto expected = h < 4 ? 0u : (h < 8 ? 1u : 2u);
+    EXPECT_EQ(sessions[h].program, ProgramId{expected}) << "hour " << h;
+  }
+  expect_same_sessions(sessions, trace::materialize(waves).sessions());
+}
+
+TEST(NeighborhoodSkewAdaptor, ConcentratesPopulationAndRegionalizesCatalog) {
+  // 60 users in neighborhoods of 20 (3 neighborhoods), sessions spread
+  // over all users.
+  std::vector<test::SessionSpec> specs;
+  for (std::uint32_t u = 0; u < 60; ++u) {
+    specs.push_back({static_cast<std::int64_t>(3600 + u), u, 2, 600});
+  }
+  const auto trace = test::make_trace(weighted_catalog(), specs, 60, 1);
+  const trace::TraceSource base(trace);
+  NeighborhoodSkewSpec spec;
+  spec.enabled = true;
+  spec.hot_neighborhoods = 1;
+  spec.population_share = 1.0;
+  spec.regions = 2;
+  spec.regional_affinity = 1.0;
+  const NeighborhoodSkewSource skew(base, spec, 20);
+
+  const auto sessions = drain(skew);
+  ASSERT_EQ(sessions.size(), 60u);
+  for (const auto& session : sessions) {
+    // Every session's viewer now lives in neighborhood 0...
+    EXPECT_EQ(skew.topology().neighborhood_of(session.user).value(), 0u);
+    // ...whose region (0 % 2) owns catalog slice [0, 2): back-catalog
+    // programs 0 and 1 only (program 3 is a late release, and slice 1
+    // holds {2, 3}).
+    EXPECT_LT(session.program.value(), 2u);
+  }
+  expect_same_sessions(sessions, trace::materialize(skew).sessions());
+}
+
+TEST(NeighborhoodSkewAdaptor, RejectsTooManyHotNeighborhoods) {
+  const auto trace =
+      test::make_trace(weighted_catalog(), {{3600, 0, 0, 600}}, 10, 1);
+  const trace::TraceSource base(trace);
+  NeighborhoodSkewSpec spec;
+  spec.enabled = true;
+  spec.hot_neighborhoods = 5;  // 10 users / 20 per hood = 1 neighborhood
+  spec.population_share = 1.0;
+  EXPECT_THROW(NeighborhoodSkewSource(base, spec, 20), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Shipped scenario files: the acceptance pin
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> shipped_files() {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(VODCACHE_SCENARIO_DIR)) {
+    if (entry.path().extension() == ".scn") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(ShippedScenarios, AtLeastFiveFilesAndAllParse) {
+  const auto files = shipped_files();
+  EXPECT_GE(files.size(), 5u);
+  for (const auto& file : files) {
+    const auto spec = load_scenario_file(file);
+    EXPECT_FALSE(spec.name.empty());
+    EXPECT_FALSE(spec.summary.empty()) << file << " needs a summary";
+    EXPECT_NO_THROW(spec.validate()) << file;
+  }
+}
+
+// Every shipped file, replayed streamed at 1/2/8 threads and once off the
+// materialized trace: all four reports must be byte-identical.  This is
+// the scenario engine's determinism contract end to end.
+class ShippedScenarioIdentity
+    : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Files, ShippedScenarioIdentity, ::testing::ValuesIn(shipped_files()),
+    [](const auto& info) {
+      auto name = std::filesystem::path(info.param).stem().string();
+      std::replace_if(
+          name.begin(), name.end(),
+          [](char c) { return !std::isalnum(static_cast<unsigned char>(c)); },
+          '_');
+      return name;
+    });
+
+TEST_P(ShippedScenarioIdentity, BitIdenticalAcrossThreadsAndMaterialization) {
+  const auto spec = load_scenario_file(GetParam());
+
+  core::SystemConfig config;
+  config.strategy.kind = core::StrategyKind::Lfu;
+  apply_system(spec, config);
+  const ScenarioWorkload workload(spec, config.neighborhood_size);
+
+  std::string reference;
+  for (const std::uint32_t threads : {1u, 2u, 8u}) {
+    auto run = config;
+    run.threads = threads;
+    core::VodSystem system(workload.source(), run);
+    const auto json = core::to_json(system.run(), true);
+    if (reference.empty()) {
+      reference = json;
+    } else {
+      EXPECT_EQ(json, reference) << "threads=" << threads;
+    }
+  }
+
+  const auto trace = trace::materialize(workload.source());
+  core::VodSystem materialized(trace, config);
+  EXPECT_EQ(core::to_json(materialized.run(), true), reference)
+      << "materialized twin diverged";
+}
+
+}  // namespace
+}  // namespace vodcache::scenario

@@ -293,6 +293,108 @@ TEST_F(CsvSourceTest, RejectsOutOfRangeSessions) {
                std::runtime_error);  // starts past horizon
 }
 
+// Constructs a CsvSource and checks the error message carries both the
+// line number and a recognizable explanation — "line 3: malformed number"
+// beats a bare exception when the trace is 20 GB of converted PowerInfo.
+void expect_csv_error(const std::string& path,
+                      const std::vector<std::string>& fragments) {
+  try {
+    const CsvSource source(path);
+    FAIL() << "expected CsvSource to reject " << path;
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    for (const auto& fragment : fragments) {
+      EXPECT_NE(what.find(fragment), std::string::npos)
+          << "message '" << what << "' lacks '" << fragment << "'";
+    }
+  }
+}
+
+TEST_F(CsvSourceTest, TruncatedFinalLineSaysWhichLineAndWhy) {
+  // A copy cut off mid-record (no trailing newline): too few fields.
+  expect_csv_error(write_temp("meta,4,86400000\n"
+                              "program,0,1800000,0,1\n"
+                              "session,1000,0,0,1000\n"
+                              "session,5000,0"),
+                   {"line 4", "session needs 4 fields"});
+  // Cut off mid-number: the right field count, an empty last field.
+  expect_csv_error(write_temp("meta,4,86400000\n"
+                              "program,0,1800000,0,1\n"
+                              "session,5000,0,0,"),
+                   {"line 3", "malformed number"});
+}
+
+TEST_F(CsvSourceTest, CrlfLineEndingsRejectedWithClearMessage) {
+  expect_csv_error(write_temp("meta,4,86400000\r\n"
+                              "program,0,1800000,0,1\r\n"
+                              "session,1000,0,0,1000\r\n"),
+                   {"line 1", "CRLF", "LF"});
+}
+
+TEST_F(CsvSourceTest, DuplicateIdsRejected) {
+  // A duplicated program id breaks the contiguous-ids contract...
+  expect_csv_error(write_temp("meta,4,86400000\n"
+                              "program,0,1800000,0,1\n"
+                              "program,0,1800000,0,1\n"),
+                   {"line 3", "contiguous"});
+  // ...and a second meta line is a merge artifact, not a bigger trace.
+  expect_csv_error(write_temp("meta,4,86400000\n"
+                              "meta,4,86400000\n"),
+                   {"line 2", "duplicate meta"});
+}
+
+TEST_F(CsvSourceTest, SortBoundaryIsHalfOpen) {
+  // Equal start times are sorted — the stable tie order is the file
+  // order, exactly what a stable sort would have produced.
+  const std::string path = write_temp(
+      "meta,4,86400000\n"
+      "program,0,1800000,0,1\n"
+      "session,5000,0,0,1000\n"
+      "session,5000,1,0,2000\n");
+  const CsvSource source(path);
+  const auto sessions = drain(source);
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[0].user, UserId{0});
+  EXPECT_EQ(sessions[1].user, UserId{1});
+
+  // One millisecond of regression is out of order.
+  expect_csv_error(write_temp("meta,4,86400000\n"
+                              "program,0,1800000,0,1\n"
+                              "session,5000,0,0,1000\n"
+                              "session,4999,1,0,2000\n"),
+                   {"line 4", "not sorted", "cannot re-sort"});
+}
+
+TEST_F(CsvSourceTest, MidStreamReValidationCatchesChangedFile) {
+  // The constructor validated a sorted file; the file then changes under
+  // the source.  The replay stream re-checks the cheap invariants and
+  // must throw, not feed the simulator unsorted sessions.
+  const std::string path = write_temp(
+      "meta,4,86400000\n"
+      "program,0,1800000,0,1\n"
+      "session,1000,0,0,1000\n"
+      "session,5000,1,0,1000\n");
+  const CsvSource source(path);
+  {
+    std::ofstream rewrite(path);
+    rewrite << "meta,4,86400000\n"
+               "program,0,1800000,0,1\n"
+               "session,5000,0,0,1000\n"
+               "session,1000,1,0,1000\n";
+  }
+  auto stream = source.open();
+  SessionRecord record;
+  EXPECT_TRUE(stream->next(record));
+  try {
+    (void)stream->next(record);
+    FAIL() << "expected the re-validation to reject the rewritten file";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("file changed"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
 // ------------------------------------------- streamed simulation identity
 
 core::SystemConfig small_system(core::StrategyKind kind) {

@@ -367,6 +367,89 @@ TEST(RateMeter, ZeroRateIsNoOp) {
   EXPECT_DOUBLE_EQ(meter.total_bits(), 0.0);
 }
 
+// ------------------------------------------- RateMeter::rate_at edge pins
+//
+// The coax-headroom admission gate reads rate_at mid-simulation, so its
+// window-edge semantics are load-bearing: these tests pin them.
+
+// A query exactly on a bucket boundary reads the bucket *beginning* there
+// (buckets are half-open, like every interval in the simulator).
+TEST(RateMeterRateAt, BoundaryBelongsToTheBucketItBegins) {
+  RateMeter meter(SimTime::hours(1), SimTime::minutes(15));
+  meter.add({SimTime::minutes(0), SimTime::minutes(15)},
+            DataRate::megabits_per_second(12.0));
+  // Everywhere inside bucket 0, including t = 0.
+  EXPECT_DOUBLE_EQ(meter.rate_at(SimTime{}).mbps(), 12.0);
+  EXPECT_DOUBLE_EQ(
+      meter.rate_at(SimTime::minutes(15) - SimTime::millis(1)).mbps(), 12.0);
+  // The boundary itself is the next (empty) bucket.
+  EXPECT_DOUBLE_EQ(meter.rate_at(SimTime::minutes(15)).mbps(), 0.0);
+}
+
+// Before any event is accounted, every bucket reads zero (a fresh meter
+// never reports phantom load), and buckets after the last transmission
+// decay to exactly zero — there is no smearing across buckets.
+TEST(RateMeterRateAt, ZeroBeforeFirstAndAfterLastEvent) {
+  RateMeter meter(SimTime::hours(1), SimTime::minutes(15));
+  EXPECT_DOUBLE_EQ(meter.rate_at(SimTime{}).bps(), 0.0);
+  EXPECT_DOUBLE_EQ(meter.rate_at(SimTime::minutes(59)).bps(), 0.0);
+  meter.add({SimTime::minutes(16), SimTime::minutes(29)},
+            DataRate::megabits_per_second(9.0));
+  EXPECT_DOUBLE_EQ(meter.rate_at(SimTime::minutes(10)).bps(), 0.0);
+  EXPECT_DOUBLE_EQ(meter.rate_at(SimTime::minutes(31)).bps(), 0.0);
+}
+
+// An interval ending exactly on a bucket boundary spills nothing into the
+// next bucket, and one beginning there contributes nothing to the
+// previous one.
+TEST(RateMeterRateAt, IntervalEdgesDoNotLeakAcrossBuckets) {
+  RateMeter meter(SimTime::hours(1), SimTime::minutes(15));
+  meter.add({SimTime::minutes(15), SimTime::minutes(30)},
+            DataRate::megabits_per_second(5.0));
+  EXPECT_DOUBLE_EQ(meter.rate_at(SimTime::minutes(14)).bps(), 0.0);
+  EXPECT_DOUBLE_EQ(meter.rate_at(SimTime::minutes(15)).mbps(), 5.0);
+  EXPECT_DOUBLE_EQ(meter.rate_at(SimTime::minutes(30) - SimTime::millis(1))
+                       .mbps(),
+                   5.0);
+  EXPECT_DOUBLE_EQ(meter.rate_at(SimTime::minutes(30)).bps(), 0.0);
+}
+
+// Horizon edge: when the horizon is not a bucket multiple, the final
+// bucket covers only the remainder, and averages divide by the *covered*
+// width — a wire busy for the bucket's whole covered span reports the
+// true rate, not rate x covered/nominal.  (This was the off-by-one-bucket
+// understatement the audit found; fixed alongside these pins.)
+TEST(RateMeterRateAt, PartialFinalBucketAveragesOverCoveredWidth) {
+  // 100-minute horizon, 15-minute buckets: 7 buckets, the last covering
+  // [90, 100) — 10 of its nominal 15 minutes.
+  RateMeter meter(SimTime::minutes(100), SimTime::minutes(15));
+  ASSERT_EQ(meter.bucket_count(), 7u);
+  EXPECT_DOUBLE_EQ(meter.bucket_seconds(5), 900.0);
+  EXPECT_DOUBLE_EQ(meter.bucket_seconds(6), 600.0);
+
+  meter.add({SimTime::minutes(90), SimTime::minutes(100)},
+            DataRate::megabits_per_second(6.0));
+  EXPECT_DOUBLE_EQ(meter.rate_at(SimTime::minutes(95)).mbps(), 6.0);
+  EXPECT_DOUBLE_EQ(meter.bucket_rate(6).mbps(), 6.0);
+  // The last representable query time still lands in the final bucket.
+  EXPECT_DOUBLE_EQ(
+      meter.rate_at(SimTime::minutes(100) - SimTime::millis(1)).mbps(), 6.0);
+  // Bits are conserved regardless of the width used for averaging.
+  EXPECT_NEAR(meter.total_bits(), 6e6 * 600, 1.0);
+
+  // The same clipped width feeds the figure pipelines: a full-horizon
+  // transmission yields a flat profile, not a dip in the final hour.
+  RateMeter flat(SimTime::minutes(100), SimTime::minutes(15));
+  flat.add({SimTime{}, SimTime::minutes(100)},
+           DataRate::megabits_per_second(8.0));
+  const auto samples = flat.window_samples_bps(HourWindow{0, 24});
+  ASSERT_EQ(samples.size(), 7u);
+  for (const double s : samples) EXPECT_DOUBLE_EQ(s, 8e6);
+  const auto profile = flat.hourly_profile();
+  EXPECT_DOUBLE_EQ(profile[0].mbps(), 8.0);
+  EXPECT_DOUBLE_EQ(profile[1].mbps(), 8.0);
+}
+
 // --------------------------------------------------------------- PeakStats
 
 TEST(PeakStats, EmptySamples) {

@@ -211,6 +211,28 @@ TEST(Trace, ValidationErrorDescribesProblem) {
   EXPECT_EQ(trace.validation_error(), std::nullopt);
 }
 
+TEST(CsvIo, RejectsCrlfLineEndings) {
+  // A trace saved with Windows line endings would otherwise fail as a
+  // confusing "malformed number" on the last field of every line; the
+  // loader names the real problem.  Applies to the materialized loader
+  // too, not just the streaming source.
+  std::stringstream buffer("meta,1,86400000\r\n");
+  try {
+    (void)read_csv(buffer);
+    FAIL() << "expected CRLF rejection";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("CRLF"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(CsvIo, RejectsDuplicateMeta) {
+  std::stringstream buffer(
+      "meta,1,86400000\n"
+      "meta,2,86400000\n");
+  EXPECT_THROW((void)read_csv(buffer), std::runtime_error);
+}
+
 TEST(CsvIo, SkipsCommentsAndBlankLines) {
   std::stringstream buffer(
       "# a comment\n"

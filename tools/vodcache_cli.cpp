@@ -19,6 +19,13 @@
 //   --programs N          catalog size                        [8278]
 //   --seed N              workload seed                       [20070625]
 //   --trace FILE          load trace CSV instead of generating
+//   --scenario FILE       load a declarative scenario (workload + adaptors
+//                         + failure schedule; see --list-scenarios and
+//                         examples/scenarios/).  Applied when parsed:
+//                         later options override the file's settings.
+//   --list-scenarios      print every scenario file section the engine
+//                         understands (the scenario registry is the single
+//                         source of truth for these names), then exit
 //   --scale-pop N         population x N (paper sec. V-A jittered copies)
 //   --scale-cat N         catalog x N (paper sec. V-A random remap)
 //   --materialize         buffer the whole trace in memory (cross-check
@@ -44,6 +51,7 @@
 //   --json [FILE]         emit the full report as JSON
 #include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -59,6 +67,7 @@
 #include "core/policy_registry.hpp"
 #include "core/report_json.hpp"
 #include "core/vod_system.hpp"
+#include "scenario/scenario.hpp"
 #include "trace/csv_io.hpp"
 #include "trace/generator.hpp"
 #include "trace/scaler.hpp"
@@ -73,6 +82,7 @@ struct CliOptions {
   std::string command;
   trace::GeneratorConfig workload;
   core::SystemConfig system;
+  std::optional<scenario::ScenarioSpec> scenario;
   std::string trace_path;
   std::uint32_t scale_pop = 1;
   std::uint32_t scale_cat = 1;
@@ -90,12 +100,12 @@ struct CliOptions {
   std::exit(message == nullptr ? 0 : 2);
 }
 
-// Option bounds: generous enough for any realistic deployment, tight enough
-// that downstream millisecond/bit conversions cannot overflow int64.
-constexpr std::int64_t kMaxDays = 100'000;               // ~270 years
-constexpr std::int64_t kMaxHours = kMaxDays * 24;
-constexpr std::int64_t kMaxCount = 0xFFFFFFFF;           // uint32 ids
-constexpr std::int64_t kMaxGigabytes = 1'000'000'000;    // 1 exabyte
+// Option bounds shared with the scenario-file parser (one definition in
+// util/parse.hpp, so the two surfaces cannot drift).
+using util::kMaxDays;
+using util::kMaxGigabytes;
+using util::kMaxHours;
+constexpr std::int64_t kMaxCount = util::kMaxIdCount;
 
 // Strict numeric option parsing: malformed, overflowing, or out-of-range
 // values are usage errors (exit 2), never library precondition aborts and
@@ -152,11 +162,23 @@ core::AdmissionKind parse_admission(const std::string& name) {
   std::exit(0);
 }
 
+[[noreturn]] void list_scenarios() {
+  analysis::Table sections({"section", "keys", "what it does"});
+  for (const auto& entry : scenario::section_registry()) {
+    sections.add_row({entry.key, entry.keys, entry.summary});
+  }
+  std::cout << "scenario file sections (--scenario; see "
+               "examples/scenarios/*.scn):\n";
+  sections.print(std::cout);
+  std::exit(0);
+}
+
 CliOptions parse(int argc, char** argv) {
   if (argc < 2) usage("missing command");
   CliOptions options;
   options.command = argv[1];
   if (options.command == "--list-strategies") list_strategies();
+  if (options.command == "--list-scenarios") list_scenarios();
   options.workload.days = 21;
 
   auto need_value = [&](int& i) -> std::string {
@@ -180,6 +202,22 @@ CliOptions parse(int argc, char** argv) {
           need_value(i), "--seed", 0, std::numeric_limits<std::int64_t>::max()));
     } else if (arg == "--trace") {
       options.trace_path = need_value(i);
+    } else if (arg == "--scenario") {
+      if (options.scenario) usage("--scenario given twice");
+      // Applied in option order: the file's settings override flags given
+      // before it (only the keys the file actually sets — the current
+      // workload seeds the parse, so the 21-day CLI default and earlier
+      // flags survive), and any later flag overrides the file.
+      try {
+        options.scenario =
+            scenario::load_scenario_file(need_value(i), options.workload);
+      } catch (const std::exception& error) {
+        usage(error.what());
+      }
+      options.workload = options.scenario->workload;
+      scenario::apply_system(*options.scenario, options.system);
+    } else if (arg == "--list-scenarios") {
+      list_scenarios();
     } else if (arg == "--scale-pop") {
       options.scale_pop = static_cast<std::uint32_t>(
           parse_int(need_value(i), "--scale-pop", 1, 10'000));
@@ -246,6 +284,18 @@ CliOptions parse(int argc, char** argv) {
     } else {
       usage(("unknown option: " + arg).c_str());
     }
+  }
+  if (options.scenario && !options.trace_path.empty()) {
+    usage("--scenario defines its own generated workload; it cannot combine "
+          "with --trace");
+  }
+  // Scaling adaptors on top would quietly change the declared workload:
+  // population copies land outside the skew adaptor's topology and random
+  // catalog remaps dissolve flash-crowd/release-wave targets.  Scale a
+  // scenario inside the file (users/programs keys) instead.
+  if (options.scenario && (options.scale_pop > 1 || options.scale_cat > 1)) {
+    usage("--scenario cannot combine with --scale-pop/--scale-cat; set the "
+          "scenario file's [workload] users/programs instead");
   }
   // Each option is individually bounded, but their product is the int64 bit
   // count of a neighborhood cache — reject combinations that overflow it.
@@ -314,6 +364,20 @@ SourceChain open_source(const CliOptions& options) {
               << options.workload.program_count << " programs)...\n";
     chain.parts.push_back(
         std::make_unique<trace::GeneratorSource>(options.workload));
+    if (options.scenario) {
+      std::cerr << "applying scenario '" << options.scenario->name << "'";
+      if (!options.scenario->summary.empty()) {
+        std::cerr << " (" << options.scenario->summary << ")";
+      }
+      std::cerr << "...\n";
+      // Validate against the *final* workload — later CLI flags may have
+      // overridden the file's days/users/programs — and the final
+      // neighborhood sizing (the skew adaptor replays the placement).
+      auto spec = *options.scenario;
+      spec.workload = options.workload;
+      scenario::stack_adaptors(chain.parts, spec,
+                               options.system.neighborhood_size);
+    }
   }
   const bool scaled = options.scale_pop > 1 || options.scale_cat > 1;
   if (options.scale_pop > 1) {
