@@ -1,5 +1,7 @@
 #include "core/config.hpp"
 
+#include <cmath>
+
 #include "core/policy_registry.hpp"
 #include "util/assert.hpp"
 
@@ -11,6 +13,10 @@ const char* to_string(StrategyKind kind) {
 
 const char* to_string(AdmissionKind kind) {
   return admission_entry(kind).display;
+}
+
+const char* to_string(PrefetchKind kind) {
+  return prefetch_entry(kind).display;
 }
 
 const char* to_string(CacheAdmission admission) {
@@ -44,6 +50,27 @@ void SystemConfig::validate() const {
     VODCACHE_EXPECTS(failure.fraction >= 0.0 && failure.fraction <= 1.0);
     VODCACHE_EXPECTS(failure.time >= sim::SimTime{});
   }
+  VODCACHE_EXPECTS(tiers.size() <= 8);
+  for (const auto& tier : tiers) {
+    VODCACHE_EXPECTS(!tier.name.empty());
+    // Names land in JSON unescaped; keep them to a safe identifier set.
+    for (const char c : tier.name) {
+      VODCACHE_EXPECTS((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                       c == '-' || c == '_');
+    }
+    VODCACHE_EXPECTS(tier.fan_in >= 1);
+    VODCACHE_EXPECTS(tier.capacity >= DataSize{});
+    VODCACHE_EXPECTS(tier.uplink.bps() >= 0.0);
+    VODCACHE_EXPECTS(std::isfinite(tier.cost_per_gb) &&
+                     tier.cost_per_gb >= 0.0);
+    for (const auto& outage : tier.outages) {
+      VODCACHE_EXPECTS(outage.start >= sim::SimTime{});
+      VODCACHE_EXPECTS(outage.duration > sim::SimTime{});
+    }
+  }
+  VODCACHE_EXPECTS(prefetch.refresh > sim::SimTime{});
+  VODCACHE_EXPECTS(std::isfinite(origin_cost_per_gb) &&
+                   origin_cost_per_gb >= 0.0);
 }
 
 }  // namespace vodcache::core

@@ -56,6 +56,31 @@ enum class CacheAdmission {
 
 [[nodiscard]] const char* to_string(CacheAdmission admission);
 
+// Prefetch ("prior storing") policy selector for the tier caches above the
+// neighborhoods: which programs a hub node pulls ahead of demand at each
+// refresh.  The third axis of the policy matrix; name mapping and
+// factories live in the PolicyRegistry next to scorers and admissions.
+enum class PrefetchKind {
+  // Tier nodes store nothing: every neighborhood miss rides to the origin
+  // (useful as the tiered-but-idle baseline).
+  None,
+  // Reactive: store each node's most-accessed programs of the previous
+  // refresh window, highest demand first, while capacity and the uplink
+  // rotation budget allow.
+  TopPopular,
+  // Clairvoyant: plan each window from that window's own accesses — the
+  // upper bound a reactive prefetcher chases.
+  Oracle,
+};
+
+[[nodiscard]] const char* to_string(PrefetchKind kind);
+
+struct PrefetchConfig {
+  PrefetchKind kind = PrefetchKind::TopPopular;
+  // How often each tier node's resident set rotates.
+  sim::SimTime refresh = sim::SimTime::hours(24);
+};
+
 struct StrategyConfig {
   StrategyKind kind = StrategyKind::Lfu;
   // LFU/GlobalLFU: length of the access history ("N hours").  The paper's
@@ -158,6 +183,21 @@ struct SystemConfig {
   // any value produces a bit-identical report (pinned in
   // tests/session_source_test.cpp).
   sim::SimTime stream_chunk = sim::SimTime::hours(1);
+
+  // Aggregation tiers between the neighborhoods and the origin, nearest
+  // first (e.g. {hub} or {hub, region}).  Empty — the default — is the
+  // paper's two-level world, and every report stays byte-identical to the
+  // pre-tier format (pinned in tests/policy_identity_test.cpp).
+  std::vector<hfc::TierLevelSpec> tiers;
+
+  // Prior-storing policy for the tier caches (ignored when `tiers` is
+  // empty).
+  PrefetchConfig prefetch;
+
+  // Per-gigabyte price of origin ("cloud") egress, the top of the
+  // cost-vs-hit-rate frontier the tiered reports draw.  Only read when
+  // tiers are configured.
+  double origin_cost_per_gb = 0.05;
 
   // Total cache capacity of a (full) neighborhood.
   [[nodiscard]] DataSize neighborhood_cache_capacity() const {

@@ -1,5 +1,8 @@
 #include "core/index_server.hpp"
 
+#include <utility>
+
+#include "core/tier_system.hpp"
 #include "util/assert.hpp"
 
 namespace vodcache::core {
@@ -19,7 +22,9 @@ IndexServer::IndexServer(NeighborhoodId id, std::uint32_t peer_count,
                          const SystemConfig& config,
                          std::unique_ptr<cache::EvictionScorer> scorer,
                          std::unique_ptr<cache::AdmissionPolicy> admission,
-                         MediaServer& media_server, sim::SimTime horizon)
+                         MediaServer& media_server, sim::SimTime horizon,
+                         const TierSystem* tiers,
+                         std::vector<std::uint32_t> tier_nodes)
     : id_(id),
       config_(config),
       scorer_(std::move(scorer)),
@@ -27,12 +32,22 @@ IndexServer::IndexServer(NeighborhoodId id, std::uint32_t peer_count,
       media_server_(media_server),
       store_(contributions(peer_count, config.per_peer_storage)),
       coax_meter_(horizon, config.meter_bucket),
-      peer_meter_(horizon, config.meter_bucket) {
+      peer_meter_(horizon, config.meter_bucket),
+      tiers_(tiers),
+      tier_nodes_(std::move(tier_nodes)) {
   VODCACHE_EXPECTS(peer_count > 0);
   peers_.reserve(peer_count);
   for (std::uint32_t i = 0; i < peer_count; ++i) {
     peers_.emplace_back(PeerId{i}, config.per_peer_storage,
                         config.peer_stream_limit);
+  }
+  if (tiers_ != nullptr) {
+    VODCACHE_EXPECTS(tier_nodes_.size() == tiers_->level_count());
+    counters_.tier_hits.assign(tiers_->level_count(), 0);
+    tier_meters_.reserve(tiers_->level_count());
+    for (std::size_t l = 0; l < tiers_->level_count(); ++l) {
+      tier_meters_.emplace_back(horizon, config.meter_bucket);
+    }
   }
 }
 
@@ -171,7 +186,21 @@ ServeResult IndexServer::serve_segment(PeerId viewer, cache::SegmentKey key,
     ++counters_.cold_misses;
   }
   counters_.miss_bits += bits;
-  media_server_.serve(interval, rate);
+
+  // Multi-tier walk: the lowest tier node holding the program absorbs the
+  // miss; only a full walk-through reaches the origin.  tiers_ == nullptr
+  // (the two-level world) is structurally the pre-tier path — no lookup,
+  // the origin serves every miss.
+  bool origin_serves = true;
+  if (tiers_ != nullptr) {
+    if (const auto level =
+            tiers_->serving_level(tier_nodes_, key.program, interval.begin)) {
+      ++counters_.tier_hits[*level];
+      tier_meters_[*level].add(interval, rate);
+      origin_serves = false;
+    }
+  }
+  if (origin_serves) media_server_.serve(interval, rate);
 
   // Opportunistic fill off the broadcast: only whole segments, and only if
   // the index server admitted the program for this session.  On a busy

@@ -10,6 +10,13 @@
 //                 and the headend broadcasts it; if the program has been
 //                 admitted to the cache, a peer is told to read the same
 //                 broadcast off the wire and store it (no extra bandwidth).
+//
+// With a tier tree configured (beyond the paper's two levels), a miss
+// walks up the tree first: the lowest tier node holding the program in its
+// prefetch plan serves it, and only a full walk-through reaches the
+// origin.  Tier traffic still rides this neighborhood's fiber feed, so
+// coax and fiber metering are unchanged — only who pays for the bytes
+// moves.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +32,8 @@
 #include "sim/rate_meter.hpp"
 
 namespace vodcache::core {
+
+class TierSystem;
 
 enum class ServeResult {
   // A peer broadcast the segment from its cache slice.
@@ -44,11 +53,16 @@ class IndexServer {
   // which means always-admit (the paper's behaviour) — convenient for
   // direct construction in tests, while the shard always passes a policy
   // built from the registry.
+  // `tiers` (owned by the orchestrator, outliving the server) enables the
+  // multi-tier miss walk; null is the paper's two-level world.
+  // `tier_nodes` is this neighborhood's node path, one node id per level.
   IndexServer(NeighborhoodId id, std::uint32_t peer_count,
               const SystemConfig& config,
               std::unique_ptr<cache::EvictionScorer> scorer,
               std::unique_ptr<cache::AdmissionPolicy> admission,
-              MediaServer& media_server, sim::SimTime horizon);
+              MediaServer& media_server, sim::SimTime horizon,
+              const TierSystem* tiers = nullptr,
+              std::vector<std::uint32_t> tier_nodes = {});
 
   // Session begins: records the popularity signal and decides whether this
   // program should (now) be in the cache.  `program_size` is the program's
@@ -91,6 +105,12 @@ class IndexServer {
   [[nodiscard]] const sim::RateMeter& coax_meter() const { return coax_meter_; }
   // The peer-originated share of that traffic (hits only).
   [[nodiscard]] const sim::RateMeter& peer_meter() const { return peer_meter_; }
+  // The share absorbed by tier `level` (tiered runs only; same
+  // horizon-clipping as every other meter, so byte conservation holds
+  // exactly: coax == peer + sum(tiers) + origin).
+  [[nodiscard]] const sim::RateMeter& tier_meter(std::size_t level) const {
+    return tier_meters_[level];
+  }
 
   struct Counters {
     std::uint64_t sessions = 0;
@@ -107,6 +127,9 @@ class IndexServer {
     double hit_bits = 0.0;
     double miss_bits = 0.0;
     double wiped_bytes = 0.0;
+    // Per tier level (SystemConfig::tiers order): neighborhood misses the
+    // level's node absorbed.  Empty in the two-level world.
+    std::vector<std::uint64_t> tier_hits;
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -130,6 +153,9 @@ class IndexServer {
   std::vector<hfc::SetTopBox> peers_;
   sim::RateMeter coax_meter_;
   sim::RateMeter peer_meter_;
+  const TierSystem* tiers_;
+  std::vector<std::uint32_t> tier_nodes_;
+  std::vector<sim::RateMeter> tier_meters_;
   Counters counters_;
 };
 

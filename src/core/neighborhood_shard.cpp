@@ -11,14 +11,15 @@ NeighborhoodShard::NeighborhoodShard(
     NeighborhoodId id, std::uint32_t peer_count, const trace::Catalog& catalog,
     sim::SimTime horizon, const SystemConfig& config,
     cache::FutureIndex future, std::shared_ptr<const cache::ReplayBoard> board,
-    std::vector<PendingFailure> failures, sim::SimTime failure_flush)
+    std::vector<PendingFailure> failures, sim::SimTime failure_flush,
+    const TierSystem* tiers, std::vector<std::uint32_t> tier_nodes)
     : catalog_(catalog),
       config_(config),
       future_(std::move(future)),
       board_(std::move(board)),
       media_(horizon, config.meter_bucket),
       server_(id, peer_count, config, make_scorer(), make_admission(), media_,
-              horizon),
+              horizon, tiers, std::move(tier_nodes)),
       failures_(std::move(failures)),
       failure_flush_(failure_flush) {}
 

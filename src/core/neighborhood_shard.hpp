@@ -71,12 +71,18 @@ class NeighborhoodShard {
   // after this shard's own events run out, exactly as the serial engine
   // would have while other neighborhoods were still active (pass a
   // negative time when the trace has no events at all).
+  // `tiers` (nullable; owned by the orchestrator like `catalog`) enables
+  // the multi-tier miss walk with `tier_nodes` as this neighborhood's node
+  // path — read-only prebuilt state, so the no-shared-mutable-state
+  // determinism argument is untouched.
   NeighborhoodShard(NeighborhoodId id, std::uint32_t peer_count,
                     const trace::Catalog& catalog, sim::SimTime horizon,
                     const SystemConfig& config, cache::FutureIndex future,
                     std::shared_ptr<const cache::ReplayBoard> board,
                     std::vector<PendingFailure> failures,
-                    sim::SimTime failure_flush);
+                    sim::SimTime failure_flush,
+                    const TierSystem* tiers = nullptr,
+                    std::vector<std::uint32_t> tier_nodes = {});
 
   NeighborhoodShard(const NeighborhoodShard&) = delete;
   NeighborhoodShard& operator=(const NeighborhoodShard&) = delete;

@@ -5,6 +5,7 @@
 #include "cache/lfu.hpp"
 #include "cache/lru.hpp"
 #include "cache/oracle.hpp"
+#include "core/tier_system.hpp"
 #include "util/assert.hpp"
 
 namespace vodcache::core {
@@ -91,6 +92,32 @@ constexpr AdmissionEntry kAdmissions[] = {
      make_coax_headroom},
 };
 
+std::unique_ptr<PrefetchPolicy> make_no_prefetch(const SystemConfig&) {
+  // No policy object: the orchestrator skips the plan prepass outright and
+  // TierSystem::serving_level answers "origin" without a lookup.
+  return nullptr;
+}
+
+std::unique_ptr<PrefetchPolicy> make_top_popular(const SystemConfig&) {
+  return std::make_unique<TopPopularPrefetch>();
+}
+
+std::unique_ptr<PrefetchPolicy> make_oracle_prefetch(const SystemConfig&) {
+  return std::make_unique<OraclePrefetch>();
+}
+
+constexpr PrefetchEntry kPrefetches[] = {
+    {PrefetchKind::None, "none", "none",
+     "tier nodes store nothing; every neighborhood miss rides to the origin",
+     make_no_prefetch},
+    {PrefetchKind::TopPopular, "top-popular", "top-popular",
+     "store each node's most-accessed programs of the previous refresh window",
+     make_top_popular},
+    {PrefetchKind::Oracle, "oracle", "oracle",
+     "clairvoyant: plan each window from its own accesses (upper bound)",
+     make_oracle_prefetch},
+};
+
 template <typename Entry>
 std::string join_keys(std::span<const Entry> entries) {
   std::string keys;
@@ -107,6 +134,8 @@ std::span<const ScorerEntry> scorer_registry() { return kScorers; }
 
 std::span<const AdmissionEntry> admission_registry() { return kAdmissions; }
 
+std::span<const PrefetchEntry> prefetch_registry() { return kPrefetches; }
+
 const ScorerEntry* find_scorer(std::string_view key) {
   for (const auto& entry : kScorers) {
     if (key == entry.key) return &entry;
@@ -116,6 +145,13 @@ const ScorerEntry* find_scorer(std::string_view key) {
 
 const AdmissionEntry* find_admission(std::string_view key) {
   for (const auto& entry : kAdmissions) {
+    if (key == entry.key) return &entry;
+  }
+  return nullptr;
+}
+
+const PrefetchEntry* find_prefetch(std::string_view key) {
+  for (const auto& entry : kPrefetches) {
     if (key == entry.key) return &entry;
   }
   return nullptr;
@@ -137,12 +173,24 @@ const AdmissionEntry& admission_entry(AdmissionKind kind) {
   return kAdmissions[0];
 }
 
+const PrefetchEntry& prefetch_entry(PrefetchKind kind) {
+  for (const auto& entry : kPrefetches) {
+    if (entry.kind == kind) return entry;
+  }
+  VODCACHE_ASSERT(false);
+  return kPrefetches[0];
+}
+
 std::string scorer_keys() {
   return join_keys(std::span<const ScorerEntry>(kScorers));
 }
 
 std::string admission_keys() {
   return join_keys(std::span<const AdmissionEntry>(kAdmissions));
+}
+
+std::string prefetch_keys() {
+  return join_keys(std::span<const PrefetchEntry>(kPrefetches));
 }
 
 }  // namespace vodcache::core

@@ -56,19 +56,36 @@ struct AdmissionEntry {
   std::unique_ptr<cache::AdmissionPolicy> (*make)(const SystemConfig&);
 };
 
+// The tier caches' prior-storing seam (core/tier_system.hpp) — the third
+// policy axis.  Only consulted when SystemConfig::tiers is non-empty.
+class PrefetchPolicy;
+
+struct PrefetchEntry {
+  PrefetchKind kind;
+  const char* key;
+  const char* display;
+  const char* summary;
+  // Returns nullptr only for PrefetchKind::None (tier nodes store nothing).
+  std::unique_ptr<PrefetchPolicy> (*make)(const SystemConfig&);
+};
+
 [[nodiscard]] std::span<const ScorerEntry> scorer_registry();
 [[nodiscard]] std::span<const AdmissionEntry> admission_registry();
+[[nodiscard]] std::span<const PrefetchEntry> prefetch_registry();
 
 // Lookup by CLI key; nullptr when unknown.
 [[nodiscard]] const ScorerEntry* find_scorer(std::string_view key);
 [[nodiscard]] const AdmissionEntry* find_admission(std::string_view key);
+[[nodiscard]] const PrefetchEntry* find_prefetch(std::string_view key);
 
 // Lookup by enum; every enum value has exactly one entry.
 [[nodiscard]] const ScorerEntry& scorer_entry(StrategyKind kind);
 [[nodiscard]] const AdmissionEntry& admission_entry(AdmissionKind kind);
+[[nodiscard]] const PrefetchEntry& prefetch_entry(PrefetchKind kind);
 
 // "none|lru|lfu|..." — for usage strings, derived so they cannot drift.
 [[nodiscard]] std::string scorer_keys();
 [[nodiscard]] std::string admission_keys();
+[[nodiscard]] std::string prefetch_keys();
 
 }  // namespace vodcache::core

@@ -15,6 +15,17 @@ double SimulationReport::byte_hit_ratio() const {
   return total <= 0.0 ? 0.0 : peer_bits / total;
 }
 
+double SimulationReport::cache_hit_ratio() const {
+  const std::uint64_t total = hits + cold_misses + busy_misses;
+  if (total == 0) return 0.0;
+  std::uint64_t cached = hits;
+  // The origin — always the last row — is not a cache.
+  for (std::size_t i = 0; i + 1 < tiers.size(); ++i) {
+    cached += tiers[i].hits;
+  }
+  return static_cast<double>(cached) / static_cast<double>(total);
+}
+
 double SimulationReport::reduction_vs(DataRate no_cache_peak_mean) const {
   if (no_cache_peak_mean.bps() <= 0.0) return 0.0;
   return 1.0 - server_peak.mean.bps() / no_cache_peak_mean.bps();
@@ -41,6 +52,15 @@ std::string SimulationReport::to_string() const {
     out << " denials=" << admission_denials;
   }
   out << '\n';
+  if (!tiers.empty()) {
+    out << "tiers (prefetch=" << core::to_string(prefetch) << "):";
+    for (const auto& tier : tiers) {
+      out << "  " << tier.name << " hits=" << tier.hits << "/"
+          << tier.requests << " cost=" << tier.cost;
+    }
+    out << "  total_cost=" << total_transfer_cost
+        << " cache_hit_ratio=" << cache_hit_ratio() << '\n';
+  }
   return out.str();
 }
 

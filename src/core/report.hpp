@@ -33,6 +33,20 @@ struct NeighborhoodReport {
   DataSize cache_capacity;
 };
 
+// One row of the tiered breakdown: a cache tier above the neighborhoods,
+// or the origin (always the last row).  `requests` is the segment misses
+// that reached the row's level; `hits` the ones it absorbed; the
+// difference walked on upward.
+struct TierUsageReport {
+  std::string name;
+  std::uint32_t node_count = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;
+  double bits = 0.0;
+  // bits priced at the level's per-gigabyte rate.
+  double cost = 0.0;
+};
+
 struct SimulationReport {
   // Central server load during the peak window: the paper's headline
   // metric ("Average Server Rate (Gb/s)" with 5%/95% error bars).
@@ -62,10 +76,20 @@ struct SimulationReport {
   double peer_bits = 0.0;
   double coax_bits = 0.0;
 
+  // Tiered-topology breakdown: one row per configured tier, then the
+  // origin.  Empty — and absent from both serializations — in the
+  // two-level world, so default reports keep their pre-tier bytes (pinned
+  // in tests/policy_identity_test.cpp).
+  std::vector<TierUsageReport> tiers;
+  // Sum of the rows' costs; only meaningful when `tiers` is non-empty.
+  double total_transfer_cost = 0.0;
+
   // Echo of the run setup.
   std::uint32_t neighborhood_count = 0;
   std::uint32_t user_count = 0;
   StrategyKind strategy = StrategyKind::None;
+  // Serialized only alongside `tiers` (same gate).
+  PrefetchKind prefetch = PrefetchKind::None;
   // Serialized (JSON and text) only when not Always, so reports from
   // default-admission runs are byte-identical to the pre-policy-engine
   // format (pinned in tests/policy_identity_test.cpp).
@@ -76,6 +100,9 @@ struct SimulationReport {
   [[nodiscard]] double hit_ratio() const;
   // Fraction of all bits served by peers instead of the central server.
   [[nodiscard]] double byte_hit_ratio() const;
+  // Fraction of segments served by *any* cache — peers or tier nodes; in
+  // the two-level world this equals hit_ratio().
+  [[nodiscard]] double cache_hit_ratio() const;
   // Server-load reduction relative to a no-cache baseline peak mean.
   [[nodiscard]] double reduction_vs(DataRate no_cache_peak_mean) const;
 

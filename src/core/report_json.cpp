@@ -21,7 +21,13 @@ void write_peak(std::ostream& out, const char* name,
 
 void write_json(const SimulationReport& report, std::ostream& out,
                 bool include_neighborhoods) {
+  // Tiered reports carry extra fields, so downstream consumers need a
+  // shape marker — but it must be gated exactly like admission_denials:
+  // the default two-level output keeps its pre-tier bytes (pinned in
+  // tests/policy_identity_test.cpp), so no schema_version there.
+  const bool tiered = !report.tiers.empty();
   out << "{";
+  if (tiered) out << "\"schema_version\":2,";
   out << "\"strategy\":\"" << to_string(report.strategy) << "\",";
   if (report.admission_policy != AdmissionKind::Always) {
     out << "\"admission_policy\":\"" << to_string(report.admission_policy)
@@ -62,6 +68,23 @@ void write_json(const SimulationReport& report, std::ostream& out,
       << "\"coax_bits\":" << report.coax_bits << ","
       << "\"hit_ratio\":" << report.hit_ratio() << ","
       << "\"byte_hit_ratio\":" << report.byte_hit_ratio();
+
+  if (tiered) {
+    out << ",\"prefetch\":\"" << to_string(report.prefetch) << "\""
+        << ",\"cache_hit_ratio\":" << report.cache_hit_ratio()
+        << ",\"total_transfer_cost\":" << report.total_transfer_cost
+        << ",\"tiers\":[";
+    for (std::size_t i = 0; i < report.tiers.size(); ++i) {
+      const auto& tier = report.tiers[i];
+      out << (i ? "," : "") << "{\"name\":\"" << tier.name << "\","
+          << "\"nodes\":" << tier.node_count << ","
+          << "\"requests\":" << tier.requests << ","
+          << "\"hits\":" << tier.hits << ","
+          << "\"bits\":" << tier.bits << ","
+          << "\"cost\":" << tier.cost << '}';
+    }
+    out << ']';
+  }
 
   if (include_neighborhoods) {
     out << ",\"neighborhoods\":[";

@@ -18,8 +18,11 @@ ShardedSimulation::ShardedSimulation(const trace::SessionSource& source,
     : source_(&source),
       config_(config),
       topology_(hfc::Topology::build(source.user_count(),
-                                     config.neighborhood_size)) {
+                                     config.neighborhood_size, config.tiers)) {
   config_.validate();
+  if (!config_.tiers.empty()) {
+    tiers_ = std::make_unique<TierSystem>(topology_, config_.prefetch.refresh);
+  }
   prepass();
   build_shards();
 }
@@ -30,8 +33,11 @@ ShardedSimulation::ShardedSimulation(const trace::Trace& trace,
       source_(owned_source_.get()),
       config_(config),
       topology_(hfc::Topology::build(trace.user_count(),
-                                     config.neighborhood_size)) {
+                                     config.neighborhood_size, config.tiers)) {
   config_.validate();
+  if (!config_.tiers.empty()) {
+    tiers_ = std::make_unique<TierSystem>(topology_, config_.prefetch.refresh);
+  }
   prepass();
   build_shards();
 }
@@ -42,7 +48,14 @@ void ShardedSimulation::prepass() {
   const bool need_board = config_.strategy.kind == StrategyKind::GlobalLfu;
   const bool need_future = config_.strategy.kind == StrategyKind::Oracle;
   const bool need_flush = !config_.peer_failures.empty();
-  if (!need_board && !need_future && !need_flush) return;
+  // Tier prefetch plans are whole-trace knowledge too: a no-op prefetch
+  // (None) or all-zero tier capacities leaves every plan empty, so those
+  // runs skip the pass like any other single-pass config.
+  const bool need_tiers =
+      tiers_ != nullptr && config_.prefetch.kind != PrefetchKind::None &&
+      std::any_of(config_.tiers.begin(), config_.tiers.end(),
+                  [](const auto& t) { return t.capacity > DataSize{}; });
+  if (!need_board && !need_future && !need_flush && !need_tiers) return;
 
   const auto neighborhoods = topology_.neighborhood_count();
 
@@ -77,13 +90,24 @@ void ShardedSimulation::prepass() {
   // flushes.
   const auto segment_ms = config_.segment_duration.millis_count();
 
+  std::unique_ptr<TierPlanBuilder> plan_builder;
+  if (need_tiers) {
+    plan_builder = std::make_unique<TierPlanBuilder>(topology_, config_,
+                                                     source_->catalog());
+  }
+
   auto stream = source_->open();
   trace::SessionRecord record;
   while (stream->next(record)) {
     if (board) board->add(record.program, record.start);
-    if (need_future) {
-      future_[topology_.neighborhood_of(record.user).value()].add(
-          record.program, record.start);
+    if (need_future || need_tiers) {
+      const auto neighborhood = topology_.neighborhood_of(record.user);
+      if (need_future) {
+        future_[neighborhood.value()].add(record.program, record.start);
+      }
+      if (need_tiers) {
+        plan_builder->observe(neighborhood, record.program, record.start);
+      }
     }
     if (need_flush) {
       const auto duration_ms = record.duration.millis_count();
@@ -101,6 +125,9 @@ void ShardedSimulation::prepass() {
     board_ = std::move(board);
   }
   for (auto& index : future_) index.freeze();
+  if (plan_builder) {
+    tiers_->set_plans(plan_builder->finish(source_->horizon()));
+  }
 }
 
 void ShardedSimulation::build_shards() {
@@ -135,7 +162,9 @@ void ShardedSimulation::build_shards() {
         id, topology_.size_of(id), source_->catalog(), source_->horizon(),
         config_, n < future_.size() ? std::move(future_[n])
                                     : cache::FutureIndex{},
-        board_, std::move(failures[n]), failure_flush_));
+        board_, std::move(failures[n]), failure_flush_, tiers_.get(),
+        tiers_ != nullptr ? tiers_->node_path(id)
+                          : std::vector<std::uint32_t>{}));
   }
   future_.clear();
 }
@@ -325,6 +354,49 @@ SimulationReport ShardedSimulation::build_report(
     pooled_coax.insert(pooled_coax.end(), samples.begin(), samples.end());
   }
   report.coax_peak_pooled = sim::peak_stats(pooled_coax);
+
+  // Tiered breakdown: per-level hits/bits reduced across shards in shard
+  // order (same fixed-order rule as every other merge), then the request
+  // chain — each level sees what the levels below did not absorb, and the
+  // origin serves the rest.
+  if (tiers_ != nullptr) {
+    report.prefetch = config_.prefetch.kind;
+    const auto levels = tiers_->level_count();
+    std::vector<std::uint64_t> level_hits(levels, 0);
+    std::vector<double> level_bits(levels, 0.0);
+    for (const auto& shard : shards_) {
+      const auto& c = shard->index_server().counters();
+      for (std::size_t l = 0; l < levels; ++l) {
+        level_hits[l] += c.tier_hits[l];
+        level_bits[l] += shard->index_server().tier_meter(l).total_bits();
+      }
+    }
+    std::uint64_t reaching = report.cold_misses + report.busy_misses;
+    report.tiers.reserve(levels + 1);
+    for (std::size_t l = 0; l < levels; ++l) {
+      const auto& spec = tiers_->spec(l);
+      TierUsageReport tier;
+      tier.name = spec.name;
+      tier.node_count = topology_.tier_node_count(l);
+      tier.requests = reaching;
+      tier.hits = level_hits[l];
+      tier.bits = level_bits[l];
+      tier.cost = level_bits[l] / 8e9 * spec.cost_per_gb;
+      reaching -= level_hits[l];
+      report.tiers.push_back(std::move(tier));
+    }
+    TierUsageReport origin;
+    origin.name = "origin";
+    origin.node_count = 1;
+    origin.requests = reaching;
+    origin.hits = reaching;
+    origin.bits = report.server_bits;
+    origin.cost = report.server_bits / 8e9 * config_.origin_cost_per_gb;
+    report.tiers.push_back(std::move(origin));
+    for (const auto& tier : report.tiers) {
+      report.total_transfer_cost += tier.cost;
+    }
+  }
   return report;
 }
 

@@ -36,6 +36,7 @@
 #include "core/media_server.hpp"
 #include "core/neighborhood_shard.hpp"
 #include "core/report.hpp"
+#include "core/tier_system.hpp"
 #include "hfc/topology.hpp"
 #include "trace/session_source.hpp"
 #include "trace/trace.hpp"
@@ -80,6 +81,9 @@ class ShardedSimulation {
   hfc::Topology topology_;
   // GlobalLFU only: the immutable popularity timeline all shards read.
   std::shared_ptr<const cache::ReplayBoard> board_;
+  // Tiered topologies only: the tier specs plus the prepass-built prefetch
+  // plans, read concurrently by every shard.
+  std::unique_ptr<TierSystem> tiers_;
   // Oracle only: per-neighborhood clairvoyance (consumed by build_shards).
   std::vector<cache::FutureIndex> future_;
   // Failure waves only: time of the last event anywhere in the system.

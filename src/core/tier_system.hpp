@@ -1,0 +1,164 @@
+// TierSystem: the cache tiers between the neighborhoods and the origin.
+//
+// The paper's world is two-level — set-top peers plus one central server —
+// and the whole determinism contract (bit-identical reports across thread
+// counts, chunk sizes, and streamed-vs-materialized replay) rests on shards
+// sharing no mutable state.  A hub cache naively shared by several
+// neighborhoods would break that: its contents would depend on the
+// interleaving of their misses.  So the tier caches follow the related
+// work's "prior storing" model instead: each tier node's resident set is an
+// *immutable prefetch plan* built in the orchestrator's prepass (the same
+// pattern as GlobalLFU's ReplayBoard), rotated once per refresh window.
+// During the replay, shards only ever ask "was this program resident at
+// node X at time t?" — a pure function of prebuilt state, so tiered runs
+// keep every invariance the two-level runs have.
+//
+// Plan construction honours the physical constraints a real hub has:
+//   * capacity — the resident set's program footprints fit the node;
+//   * uplink rotation budget — bytes *new* to a window (not carried over
+//     from the previous one) are capped by uplink x refresh;
+//   * outages — a level serves nothing while an outage window covers t.
+//
+// The prefetch policy (which programs a node values) is the third axis of
+// the policy matrix, registered in core::PolicyRegistry next to eviction
+// scorers and admission policies.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "hfc/topology.hpp"
+#include "trace/catalog.hpp"
+#include "util/ids.hpp"
+
+namespace vodcache::core {
+
+// One program's observed demand at a tier node during one refresh window.
+struct WindowCount {
+  ProgramId program;
+  std::uint64_t count = 0;
+};
+
+// The prior-storing seam: ranks a window's observed programs for
+// retention.  Stateless and shared across nodes; instantiated through the
+// PolicyRegistry.
+class PrefetchPolicy {
+ public:
+  virtual ~PrefetchPolicy() = default;
+
+  // Clairvoyant policies plan window k from window k's own accesses (the
+  // upper bound); reactive ones from window k-1.
+  [[nodiscard]] virtual bool clairvoyant() const { return false; }
+
+  // Retention value of a program that saw `count` accesses in the planning
+  // window; the planner keeps the highest-valued programs that fit
+  // capacity and rotation budget (ties broken by lower program id).
+  [[nodiscard]] virtual double value(ProgramId program, std::uint64_t count,
+                                     const trace::Catalog& catalog) const = 0;
+};
+
+// Reactive: demand is value — each node keeps its previous window's most
+// accessed programs.
+class TopPopularPrefetch final : public PrefetchPolicy {
+ public:
+  [[nodiscard]] double value(ProgramId, std::uint64_t count,
+                             const trace::Catalog&) const override {
+    return static_cast<double>(count);
+  }
+};
+
+// Clairvoyant twin of TopPopularPrefetch.
+class OraclePrefetch final : public PrefetchPolicy {
+ public:
+  [[nodiscard]] bool clairvoyant() const override { return true; }
+  [[nodiscard]] double value(ProgramId, std::uint64_t count,
+                             const trace::Catalog&) const override {
+    return static_cast<double>(count);
+  }
+};
+
+// Programs resident at one node for one refresh window, sorted by id.
+using PeriodSet = std::vector<ProgramId>;
+using NodePlan = std::vector<PeriodSet>;  // indexed by window
+using LevelPlan = std::vector<NodePlan>;  // indexed by node
+
+// Streaming accumulator the prepass drives: observes every session start
+// once (in stream order), then packs per-node per-window resident sets.
+class TierPlanBuilder {
+ public:
+  // All three references must outlive the builder.  The topology must
+  // carry at least one tier and config.prefetch.kind must name a real
+  // policy (the orchestrator skips the build entirely otherwise).
+  TierPlanBuilder(const hfc::Topology& topology, const SystemConfig& config,
+                  const trace::Catalog& catalog);
+
+  // One session start at `t` (non-decreasing across calls) from
+  // `neighborhood`.
+  void observe(NeighborhoodId neighborhood, ProgramId program, sim::SimTime t);
+
+  // Packs the plans.  Windows are padded out to cover `horizon` plus one
+  // trailing window, so segment boundaries running past the last session
+  // still resolve against a built window.
+  [[nodiscard]] std::vector<LevelPlan> finish(sim::SimTime horizon);
+
+ private:
+  void flush_window();
+  [[nodiscard]] PeriodSet pack_window(const hfc::TierLevelSpec& spec,
+                                      std::vector<WindowCount> window,
+                                      const PeriodSet& previous) const;
+
+  const hfc::Topology& topology_;
+  const SystemConfig& config_;
+  const trace::Catalog& catalog_;
+  std::unique_ptr<PrefetchPolicy> policy_;
+  std::int64_t refresh_ms_;
+  std::int64_t current_window_ = 0;
+  // counts_[level][node]: demand accumulating in the current window.
+  std::vector<std::vector<std::unordered_map<std::uint32_t, std::uint64_t>>>
+      counts_;
+  // windows_[level][node][window]: flushed observations, sorted by id.
+  std::vector<std::vector<std::vector<std::vector<WindowCount>>>> windows_;
+};
+
+// The read-only tier state every shard consults: specs (via the topology)
+// plus the prebuilt plans.  Shards query it concurrently without
+// synchronization — nothing here mutates after set_plans().
+class TierSystem {
+ public:
+  // `topology` must outlive the system and carry the tier specs.
+  TierSystem(const hfc::Topology& topology, sim::SimTime refresh);
+
+  [[nodiscard]] std::size_t level_count() const {
+    return topology_->tier_count();
+  }
+  [[nodiscard]] const hfc::TierLevelSpec& spec(std::size_t level) const {
+    return topology_->tier(level);
+  }
+
+  // The node ids serving a neighborhood, one per level — precomputed once
+  // per shard so the hot path never touches the topology.
+  [[nodiscard]] std::vector<std::uint32_t> node_path(NeighborhoodId n) const;
+
+  // Installs the prepass's plans (absent plans = every node empty, the
+  // PrefetchKind::None behaviour).
+  void set_plans(std::vector<LevelPlan> plans);
+
+  // The lowest level whose node can serve `program` at `t` — resident in
+  // the covering refresh window and not in an outage — or nullopt when the
+  // miss goes to the origin.  `nodes` is the caller's node_path.
+  [[nodiscard]] std::optional<std::size_t> serving_level(
+      std::span<const std::uint32_t> nodes, ProgramId program,
+      sim::SimTime t) const;
+
+ private:
+  const hfc::Topology* topology_;
+  std::int64_t refresh_ms_;
+  std::vector<LevelPlan> plans_;
+};
+
+}  // namespace vodcache::core

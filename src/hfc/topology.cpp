@@ -10,6 +10,12 @@ namespace vodcache::hfc {
 
 Topology Topology::build(std::uint32_t user_count,
                          std::uint32_t neighborhood_size) {
+  return build(user_count, neighborhood_size, {});
+}
+
+Topology Topology::build(std::uint32_t user_count,
+                         std::uint32_t neighborhood_size,
+                         std::vector<TierLevelSpec> tiers) {
   VODCACHE_EXPECTS(user_count > 0);
   VODCACHE_EXPECTS(neighborhood_size > 0);
 
@@ -29,7 +35,38 @@ Topology Topology::build(std::uint32_t user_count,
   t.position_.resize(user_count);
   std::iota(t.position_.begin(), t.position_.end(), 0U);
   std::shuffle(t.position_.begin(), t.position_.end(), rng);
+
+  t.tiers_ = std::move(tiers);
+  t.tier_divisor_.reserve(t.tiers_.size());
+  std::uint64_t divisor = 1;
+  for (const auto& spec : t.tiers_) {
+    VODCACHE_EXPECTS(spec.fan_in >= 1);
+    // Saturate past the neighborhood count: a wider fan-in than there are
+    // children still means "one node", and saturation keeps the product
+    // from overflowing however deep the tree goes.
+    if (divisor <= t.neighborhood_count_) divisor *= spec.fan_in;
+    t.tier_divisor_.push_back(divisor);
+  }
   return t;
+}
+
+const TierLevelSpec& Topology::tier(std::size_t level) const {
+  VODCACHE_EXPECTS(level < tiers_.size());
+  return tiers_[level];
+}
+
+std::uint32_t Topology::tier_node_count(std::size_t level) const {
+  VODCACHE_EXPECTS(level < tiers_.size());
+  const std::uint64_t divisor = tier_divisor_[level];
+  return static_cast<std::uint32_t>((neighborhood_count_ + divisor - 1) /
+                                    divisor);
+}
+
+std::uint32_t Topology::tier_node_of(std::size_t level,
+                                     NeighborhoodId n) const {
+  VODCACHE_EXPECTS(level < tiers_.size());
+  VODCACHE_EXPECTS(n.value() < neighborhood_count_);
+  return static_cast<std::uint32_t>(n.value() / tier_divisor_[level]);
 }
 
 NeighborhoodId Topology::neighborhood_of(UserId user) const {

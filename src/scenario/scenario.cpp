@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/policy_registry.hpp"
 #include "scenario/adaptors.hpp"
 #include "util/parse.hpp"
 
@@ -39,6 +40,11 @@ constexpr SectionEntry kSections[] = {
      "hot_neighborhoods, population_share, regions, regional_affinity, seed"},
     {"failure_storm", "scheduled waves of peer disk wipes",
      "start_hour, waves, period_hours, fraction, seed"},
+    {"tiers",
+     "regional-hub cache tier between the neighborhoods and the origin",
+     "hub_fan_in, hub_capacity_gb, hub_link_gbps, hub_cost_per_gb, "
+     "origin_cost_per_gb, prefetch, refresh_hours, outage_start_hour, "
+     "outage_hours"},
 };
 
 [[noreturn]] void parse_fail(std::size_t line_number, const std::string& what) {
@@ -317,6 +323,51 @@ ScenarioSpec parse_scenario(std::istream& in, std::string name,
         f.seed = seed_value(value, line_number, key);
         return;
       }
+    } else if (section == "tiers") {
+      auto& t = spec.tiers;
+      if (s("hub_fan_in")) {
+        t.hub_fan_in = static_cast<std::uint32_t>(
+            bounded(value, line_number, key, 1, kMaxCount));
+        return;
+      }
+      if (s("hub_capacity_gb")) {
+        t.hub_capacity_gb =
+            bounded(value, line_number, key, 0, util::kMaxGigabytes);
+        return;
+      }
+      if (s("hub_link_gbps")) {
+        t.hub_link_gbps = fraction(value, line_number, key, 0.0, 1e6);
+        return;
+      }
+      if (s("hub_cost_per_gb")) {
+        t.hub_cost_per_gb = fraction(value, line_number, key, 0.0, 1e6);
+        return;
+      }
+      if (s("origin_cost_per_gb")) {
+        t.origin_cost_per_gb = fraction(value, line_number, key, 0.0, 1e6);
+        return;
+      }
+      if (s("prefetch")) {
+        if (core::find_prefetch(value) == nullptr) {
+          parse_fail(line_number, std::string("unknown prefetch policy '") +
+                                      std::string(value) + "' (use " +
+                                      core::prefetch_keys() + ")");
+        }
+        t.prefetch = std::string(value);
+        return;
+      }
+      if (s("refresh_hours")) {
+        t.refresh_hours = bounded(value, line_number, key, 1, kMaxHours);
+        return;
+      }
+      if (s("outage_start_hour")) {
+        t.outage_start_hour = bounded(value, line_number, key, 0, kMaxHours);
+        return;
+      }
+      if (s("outage_hours")) {
+        t.outage_hours = bounded(value, line_number, key, 1, kMaxHours);
+        return;
+      }
     }
     parse_fail(line_number, std::string("unknown key '") + std::string(key) +
                                 "' in section [" + section + "] (see " +
@@ -351,6 +402,7 @@ ScenarioSpec parse_scenario(std::istream& in, std::string name,
       if (section == "release_waves") spec.release_waves.enabled = true;
       if (section == "neighborhood_skew") spec.skew.enabled = true;
       if (section == "failure_storm") spec.storm.enabled = true;
+      if (section == "tiers") spec.tiers.enabled = true;
       continue;
     }
 
@@ -435,6 +487,30 @@ void ScenarioSpec::validate() const {
       validate_fail("failure_storm starts past the workload horizon");
     }
   }
+  if (tiers.enabled) {
+    // The hub pools hub_fan_in neighborhoods' worth of demand; reject a
+    // capacity x fan-in product that would overflow downstream byte math
+    // with a named error instead of wrapping silently.
+    if (!DataSize::gigabytes(tiers.hub_capacity_gb)
+             .multipliable_by(tiers.hub_fan_in)) {
+      validate_fail(
+          "tiers hub_capacity_gb x hub_fan_in overflows the byte range — "
+          "shrink the hub or its fan-in");
+    }
+    if (core::find_prefetch(tiers.prefetch) == nullptr) {
+      validate_fail(std::string("tiers prefetch '") + tiers.prefetch +
+                    "' is not a registered policy (use " +
+                    core::prefetch_keys() + ")");
+    }
+    if ((tiers.outage_start_hour >= 0) != (tiers.outage_hours > 0)) {
+      validate_fail(
+          "tiers outage needs both outage_start_hour and outage_hours");
+    }
+    if (tiers.outage_start_hour >= 0 &&
+        sim::SimTime::hours(tiers.outage_start_hour) > horizon) {
+      validate_fail("tiers outage starts past the workload horizon");
+    }
+  }
 }
 
 void apply_system(const ScenarioSpec& spec, core::SystemConfig& config) {
@@ -456,6 +532,24 @@ void apply_system(const ScenarioSpec& spec, core::SystemConfig& config) {
       wave.seed = spec.storm.seed + k;
       config.peer_failures.push_back(wave);
     }
+  }
+  if (spec.tiers.enabled) {
+    hfc::TierLevelSpec hub;
+    hub.name = "hub";
+    hub.fan_in = spec.tiers.hub_fan_in;
+    hub.capacity = DataSize::gigabytes(spec.tiers.hub_capacity_gb);
+    hub.uplink = DataRate::gigabits_per_second(spec.tiers.hub_link_gbps);
+    hub.cost_per_gb = spec.tiers.hub_cost_per_gb;
+    if (spec.tiers.outage_start_hour >= 0) {
+      hub.outages.push_back(
+          {sim::SimTime::hours(spec.tiers.outage_start_hour),
+           sim::SimTime::hours(spec.tiers.outage_hours)});
+    }
+    config.tiers.push_back(std::move(hub));
+    // validate() vouched for the key; entry lookup cannot fail here.
+    config.prefetch.kind = core::find_prefetch(spec.tiers.prefetch)->kind;
+    config.prefetch.refresh = sim::SimTime::hours(spec.tiers.refresh_hours);
+    config.origin_cost_per_gb = spec.tiers.origin_cost_per_gb;
   }
 }
 

@@ -107,6 +107,26 @@ struct FailureStormSpec {
   std::uint64_t seed = 0xFA11;
 };
 
+// [tiers]: stack a regional-hub cache tier between the neighborhoods and
+// the origin (SystemConfig::tiers + prefetch).  `hub_fan_in` neighborhoods
+// share one hub node of `hub_capacity_gb`; `prefetch` names a
+// core::PolicyRegistry prior-storing policy whose plans rotate every
+// `refresh_hours`, pulling at most hub_link_gbps x refresh of new content
+// per rotation (0 = unconstrained).  An optional outage window takes the
+// whole tier offline.  Costs feed the report's cost-vs-hit-rate frontier.
+struct TiersSpec {
+  bool enabled = false;
+  std::uint32_t hub_fan_in = 8;
+  std::int64_t hub_capacity_gb = 0;  // 0: the hub stores nothing
+  double hub_link_gbps = 0.0;        // 0: unconstrained rotation budget
+  double hub_cost_per_gb = 0.01;
+  double origin_cost_per_gb = 0.05;
+  std::string prefetch = "top-popular";
+  std::int64_t refresh_hours = 24;
+  std::int64_t outage_start_hour = -1;  // < 0: no outage
+  std::int64_t outage_hours = 0;
+};
+
 struct ScenarioSpec {
   std::string name;     // file stem (or caller-provided hint)
   std::string summary;  // [scenario] summary = ...
@@ -123,6 +143,7 @@ struct ScenarioSpec {
   ReleaseWavesSpec release_waves;
   NeighborhoodSkewSpec skew;
   FailureStormSpec storm;
+  TiersSpec tiers;
 
   // Cross-field validation against the *final* workload (the CLI may
   // override days/users/programs after loading the file): windows inside

@@ -98,6 +98,89 @@ TEST(Topology, DifferentNeighborhoodSizeDifferentPlacement) {
   EXPECT_LT(same_peer, 2000u);
 }
 
+TEST(Topology, SingleUserSystem) {
+  const auto topology = Topology::build(1, 1000);
+  EXPECT_EQ(topology.neighborhood_count(), 1u);
+  EXPECT_EQ(topology.size_of(NeighborhoodId{0}), 1u);
+  EXPECT_EQ(topology.neighborhood_of(UserId{0}), NeighborhoodId{0});
+  EXPECT_EQ(topology.peer_of(UserId{0}), PeerId{0});
+}
+
+TEST(Topology, NeighborhoodAndPeerAgreeAcrossRemainderBoundary) {
+  // 5 full neighborhoods of 64 plus a 13-user remainder: every user's
+  // peer index must be valid *for the neighborhood it was placed in*,
+  // including the smaller last one.
+  const auto topology = Topology::build(5 * 64 + 13, 64);
+  ASSERT_EQ(topology.neighborhood_count(), 6u);
+  EXPECT_EQ(topology.size_of(NeighborhoodId{5}), 13u);
+  for (std::uint32_t u = 0; u < 5 * 64 + 13; ++u) {
+    const auto n = topology.neighborhood_of(UserId{u});
+    EXPECT_LT(topology.peer_of(UserId{u}).value(), topology.size_of(n))
+        << "user " << u << " in neighborhood " << n.value();
+  }
+}
+
+// ------------------------------------------------------------- Tier levels
+
+TierLevelSpec hub_spec(std::uint32_t fan_in) {
+  TierLevelSpec spec;
+  spec.fan_in = fan_in;
+  spec.capacity = DataSize::gigabytes(100);
+  return spec;
+}
+
+TEST(Topology, TwoArgBuildHasNoTiers) {
+  const auto topology = Topology::build(1000, 100);
+  EXPECT_EQ(topology.tier_count(), 0u);
+  EXPECT_TRUE(topology.tiers().empty());
+}
+
+TEST(Topology, TierNodeMappingRoundsUp) {
+  // 10 neighborhoods under fan-in-4 hubs: nodes {0,1,2}, the last one
+  // covering only 2 neighborhoods.
+  const auto topology = Topology::build(1000, 100, {hub_spec(4)});
+  ASSERT_EQ(topology.tier_count(), 1u);
+  EXPECT_EQ(topology.tier_node_count(0), 3u);
+  EXPECT_EQ(topology.tier_node_of(0, NeighborhoodId{0}), 0u);
+  EXPECT_EQ(topology.tier_node_of(0, NeighborhoodId{3}), 0u);
+  EXPECT_EQ(topology.tier_node_of(0, NeighborhoodId{4}), 1u);
+  EXPECT_EQ(topology.tier_node_of(0, NeighborhoodId{9}), 2u);
+}
+
+TEST(Topology, ChainedTierDivisorsCompose) {
+  // 24 neighborhoods -> fan-in-4 hubs (6 nodes) -> fan-in-3 regions
+  // (2 nodes): level 1's divisor is the *product* of fan-ins.
+  const auto topology =
+      Topology::build(2400, 100, {hub_spec(4), hub_spec(3)});
+  ASSERT_EQ(topology.tier_count(), 2u);
+  EXPECT_EQ(topology.tier_node_count(0), 6u);
+  EXPECT_EQ(topology.tier_node_count(1), 2u);
+  EXPECT_EQ(topology.tier_node_of(1, NeighborhoodId{11}), 0u);
+  EXPECT_EQ(topology.tier_node_of(1, NeighborhoodId{12}), 1u);
+}
+
+TEST(Topology, TiersDoNotPerturbPlacement) {
+  // The tier tree sits above the neighborhoods; adding one must not move
+  // a single user (the two-level world is the degenerate case).
+  const auto flat = Topology::build(2000, 250);
+  const auto tiered = Topology::build(2000, 250, {hub_spec(8)});
+  for (std::uint32_t u = 0; u < 2000; ++u) {
+    EXPECT_EQ(flat.neighborhood_of(UserId{u}),
+              tiered.neighborhood_of(UserId{u}));
+    EXPECT_EQ(flat.peer_of(UserId{u}), tiered.peer_of(UserId{u}));
+  }
+}
+
+TEST(TierLevelSpec, OutageWindowIsHalfOpen) {
+  TierLevelSpec spec = hub_spec(4);
+  spec.outages.push_back(
+      {sim::SimTime::hours(10), sim::SimTime::hours(2)});
+  EXPECT_FALSE(spec.in_outage(sim::SimTime::hours(9)));
+  EXPECT_TRUE(spec.in_outage(sim::SimTime::hours(10)));
+  EXPECT_TRUE(spec.in_outage(sim::SimTime::hours(11)));
+  EXPECT_FALSE(spec.in_outage(sim::SimTime::hours(12)));
+}
+
 // ---------------------------------------------------------------- CoaxSpec
 
 TEST(CoaxSpec, PaperConstants) {

@@ -123,6 +123,28 @@ RandomCase draw_case(std::uint64_t seed) {
     storm.seed = rng.next_u64();
     scenario::apply_system(c.spec, config);  // expand the storm schedule
   }
+  // Tier axis: a hub level with a random prefetch policy, sometimes
+  // capacity-starved, link-capped, or knocked out mid-horizon — the
+  // conservation invariants below must hold across all of it.
+  if (rng.bernoulli(0.4)) {
+    hfc::TierLevelSpec hub;
+    hub.fan_in = static_cast<std::uint32_t>(1 + rng.uniform_u64(4));
+    hub.capacity = DataSize::gigabytes(rng.uniform_int(0, 40));
+    if (rng.bernoulli(0.3)) {
+      hub.uplink = DataRate::megabits_per_second(rng.uniform_double(1.0, 50.0));
+    }
+    hub.cost_per_gb = rng.uniform_double(0.0, 0.05);
+    if (rng.bernoulli(0.3)) {
+      hub.outages.push_back(
+          {sim::SimTime::hours(rng.uniform_int(0, horizon_hours - 2)),
+           sim::SimTime::hours(rng.uniform_int(1, 12))});
+    }
+    config.tiers.push_back(hub);
+    const auto prefetches = core::prefetch_registry();
+    config.prefetch.kind = prefetches[rng.uniform_u64(prefetches.size())].kind;
+    config.prefetch.refresh = sim::SimTime::hours(rng.uniform_int(4, 24));
+    config.origin_cost_per_gb = rng.uniform_double(0.01, 0.1);
+  }
   return c;
 }
 
@@ -197,8 +219,40 @@ TEST_P(RandomConfig, ConservationInvariantsHoldOnEveryReport) {
   EXPECT_GE(report.server_bits, 0.0);
   EXPECT_GE(report.peer_bits, 0.0);
   EXPECT_GE(report.coax_bits, 0.0);
-  EXPECT_NEAR(report.coax_bits, report.peer_bits + report.server_bits,
-              1e-6 * report.coax_bits + 1.0);
+  if (report.tiers.empty()) {
+    EXPECT_NEAR(report.coax_bits, report.peer_bits + report.server_bits,
+                1e-6 * report.coax_bits + 1.0);
+    EXPECT_EQ(report.total_transfer_cost, 0.0);
+  } else {
+    // Every coax bit came from a peer or from exactly one tier row (the
+    // origin row's bits ARE server_bits): the walk absorbs misses, it
+    // never duplicates or drops them.
+    double tier_bits = 0.0;
+    for (const auto& tier : report.tiers) tier_bits += tier.bits;
+    EXPECT_NEAR(report.coax_bits, report.peer_bits + tier_bits,
+                1e-6 * report.coax_bits + 1.0);
+    EXPECT_EQ(report.tiers.size(), c.config.tiers.size() + 1);
+    EXPECT_EQ(report.tiers.back().bits, report.server_bits);
+    // Request chain: level l sees what the levels below did not absorb,
+    // and the origin serves everything that reaches it.
+    std::uint64_t reaching = report.cold_misses + report.busy_misses;
+    double cost_sum = 0.0;
+    for (const auto& tier : report.tiers) {
+      EXPECT_EQ(tier.requests, reaching) << tier.name;
+      EXPECT_LE(tier.hits, tier.requests) << tier.name;
+      EXPECT_GE(tier.bits, 0.0) << tier.name;
+      EXPECT_GE(tier.cost, 0.0) << tier.name;
+      reaching -= tier.hits;
+      cost_sum += tier.cost;
+    }
+    EXPECT_EQ(report.tiers.back().hits, report.tiers.back().requests);
+    EXPECT_EQ(reaching, 0u);
+    EXPECT_NEAR(report.total_transfer_cost, cost_sum,
+                1e-9 * (1.0 + cost_sum));
+    // A cache tier can only raise the combined hit ratio.
+    EXPECT_GE(report.cache_hit_ratio() + 1e-12, report.hit_ratio());
+    EXPECT_LE(report.cache_hit_ratio(), 1.0);
+  }
   EXPECT_GE(report.hit_ratio(), 0.0);
   EXPECT_LE(report.hit_ratio(), 1.0);
   EXPECT_GE(report.byte_hit_ratio(), 0.0);

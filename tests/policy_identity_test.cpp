@@ -111,5 +111,56 @@ TEST_P(PreRefactorIdentity, ReportBytesMatchMonolithicStrategy) {
       << "actual hash 0x" << std::hex << report_hash(config);
 }
 
+// Tiered-report pins: same trace and base config as above, plus a fan-in-2
+// hub level — the tiered walk, prefetch planning, and per-tier breakdown
+// are pinned from the commit that introduced them.  The two-level cases
+// above must stay untouched forever; these follow the same regeneration
+// rule (intentional semantics changes only, explained in the commit).
+struct TieredGoldenCase {
+  const char* name;
+  PrefetchKind prefetch;
+  double link_gbps;
+  bool outage;
+  std::uint64_t golden;
+};
+
+const TieredGoldenCase kTieredGoldenCases[] = {
+    {"TopPopular", PrefetchKind::TopPopular, 0.0, false,
+     0xB5F144F22C847EC8ULL},
+    // 1 Mb/s x 12 h is about half the hub's capacity per rotation, so the
+    // uplink budget genuinely constrains this plan.
+    {"TopPopularCapped", PrefetchKind::TopPopular, 0.001, false,
+     0xE2AFBDF9371756DDULL},
+    {"OracleOutage", PrefetchKind::Oracle, 0.0, true,
+     0x2BC6BE7454C82664ULL},
+    {"NonePrefetch", PrefetchKind::None, 0.0, false,
+     0x8CC0A9F217D1DC92ULL},
+};
+
+class TieredIdentity : public ::testing::TestWithParam<TieredGoldenCase> {};
+
+INSTANTIATE_TEST_SUITE_P(Prefetches, TieredIdentity,
+                         ::testing::ValuesIn(kTieredGoldenCases),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+TEST_P(TieredIdentity, TieredReportBytesArePinned) {
+  const auto& c = GetParam();
+  auto config = pinned_config(StrategyKind::Lfu);
+  hfc::TierLevelSpec hub;
+  hub.fan_in = 2;  // 8 neighborhoods -> 4 hub nodes
+  hub.capacity = DataSize::gigabytes(10);
+  hub.uplink = DataRate::gigabits_per_second(c.link_gbps);
+  if (c.outage) {
+    hub.outages.push_back({sim::SimTime::hours(30), sim::SimTime::hours(6)});
+  }
+  config.tiers.push_back(hub);
+  config.prefetch.kind = c.prefetch;
+  config.prefetch.refresh = sim::SimTime::hours(12);
+  EXPECT_EQ(report_hash(config), c.golden)
+      << "actual hash 0x" << std::hex << report_hash(config);
+}
+
 }  // namespace
 }  // namespace vodcache::core

@@ -92,5 +92,28 @@ TEST(ReportJson, StreamAndStringAgree) {
   EXPECT_EQ(out.str(), to_json(report));
 }
 
+// The tiered fields — schema_version included — are gated exactly like
+// admission_denials: absent by default so the two-level output keeps its
+// pre-tier bytes, present as a shape marker when tiers are configured.
+TEST(ReportJson, TierFieldsGatedOnTieredReports) {
+  auto report = run_small();
+  const auto flat = to_json(report);
+  EXPECT_EQ(flat.find("schema_version"), std::string::npos);
+  EXPECT_EQ(flat.find("\"tiers\""), std::string::npos);
+  EXPECT_EQ(flat.find("total_transfer_cost"), std::string::npos);
+  EXPECT_EQ(flat.find("\"prefetch\""), std::string::npos);
+
+  report.tiers.push_back({"hub", 2, 100, 40, 1.5e9, 0.25});
+  report.tiers.push_back({"origin", 1, 60, 60, 3.0e9, 1.0});
+  report.total_transfer_cost = 1.25;
+  const auto tiered = to_json(report);
+  expect_structurally_valid(tiered);
+  EXPECT_NE(tiered.find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(tiered.find("\"prefetch\":\"none\""), std::string::npos);
+  EXPECT_NE(tiered.find("\"total_transfer_cost\":1.25"), std::string::npos);
+  EXPECT_NE(tiered.find("\"tiers\":[{\"name\":\"hub\""), std::string::npos);
+  EXPECT_NE(tiered.find("\"name\":\"origin\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace vodcache::core

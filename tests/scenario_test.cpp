@@ -435,6 +435,101 @@ TEST(NeighborhoodSkewAdaptor, RejectsTooManyHotNeighborhoods) {
 }
 
 // ---------------------------------------------------------------------------
+// [tiers]
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioTiers, SectionRoundTripsAndAppliesToConfig) {
+  const auto spec = parse_text(R"([workload]
+days = 4
+
+[tiers]
+hub_fan_in = 4
+hub_capacity_gb = 120
+hub_link_gbps = 0.5
+hub_cost_per_gb = 0.02
+origin_cost_per_gb = 0.07
+prefetch = oracle
+refresh_hours = 12
+outage_start_hour = 60
+outage_hours = 6
+)");
+  ASSERT_TRUE(spec.tiers.enabled);
+  EXPECT_EQ(spec.tiers.hub_fan_in, 4u);
+  EXPECT_EQ(spec.tiers.hub_capacity_gb, 120);
+  EXPECT_DOUBLE_EQ(spec.tiers.hub_link_gbps, 0.5);
+  EXPECT_EQ(spec.tiers.prefetch, "oracle");
+  EXPECT_NO_THROW(spec.validate());
+
+  core::SystemConfig config;
+  apply_system(spec, config);
+  ASSERT_EQ(config.tiers.size(), 1u);
+  EXPECT_EQ(config.tiers[0].name, "hub");
+  EXPECT_EQ(config.tiers[0].fan_in, 4u);
+  EXPECT_EQ(config.tiers[0].capacity, DataSize::gigabytes(120));
+  EXPECT_DOUBLE_EQ(config.tiers[0].uplink.gbps(), 0.5);
+  EXPECT_DOUBLE_EQ(config.tiers[0].cost_per_gb, 0.02);
+  ASSERT_EQ(config.tiers[0].outages.size(), 1u);
+  EXPECT_EQ(config.tiers[0].outages[0].start, sim::SimTime::hours(60));
+  EXPECT_EQ(config.prefetch.kind, core::PrefetchKind::Oracle);
+  EXPECT_EQ(config.prefetch.refresh, sim::SimTime::hours(12));
+  EXPECT_DOUBLE_EQ(config.origin_cost_per_gb, 0.07);
+}
+
+TEST(ScenarioTiers, PresenceEnablesWithDefaults) {
+  const auto spec = parse_text("[tiers]\n");
+  EXPECT_TRUE(spec.tiers.enabled);
+  EXPECT_EQ(spec.tiers.prefetch, "top-popular");
+  EXPECT_NO_THROW(spec.validate());
+  // Absent section leaves the two-level world alone.
+  core::SystemConfig config;
+  apply_system(parse_text("[workload]\ndays = 2\n"), config);
+  EXPECT_TRUE(config.tiers.empty());
+}
+
+TEST(ScenarioTiers, UnknownPrefetchIsALineNumberedParseError) {
+  expect_parse_error("[tiers]\nprefetch = psychic\n",
+                     {"line 2", "psychic", "top-popular"});
+}
+
+TEST(ScenarioTiers, OutOfRangeCapacityIsALineNumberedParseError) {
+  expect_parse_error("[tiers]\nhub_capacity_gb = -3\n",
+                     {"line 2", "hub_capacity_gb"});
+  expect_parse_error("[tiers]\nhub_capacity_gb = 99999999999999\n",
+                     {"line 2", "hub_capacity_gb"});
+}
+
+TEST(ScenarioTiers, UnknownKeyListsTheSectionVocabulary) {
+  expect_parse_error("[tiers]\nhub_size = 10\n",
+                     {"line 2", "hub_size", "hub_capacity_gb"});
+}
+
+TEST(ScenarioTiers, CapacityFanInOverflowIsANamedValidateError) {
+  auto spec = parse_text("[tiers]\nhub_capacity_gb = 1000000000\n");
+  spec.tiers.hub_fan_in = 4'000'000'000u;  // 1e9 GB x 4e9 overflows bytes
+  try {
+    spec.validate();
+    FAIL() << "expected a validate error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("hub_capacity_gb x hub_fan_in"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(ScenarioTiers, OutageNeedsBothKeys) {
+  const auto spec = parse_text("[workload]\ndays = 4\n"
+                               "[tiers]\noutage_start_hour = 10\n");
+  EXPECT_THROW(spec.validate(), std::runtime_error);
+}
+
+TEST(ScenarioTiers, OutagePastHorizonRejected) {
+  const auto spec = parse_text("[workload]\ndays = 2\n"
+                               "[tiers]\noutage_start_hour = 49\n"
+                               "outage_hours = 2\n");
+  EXPECT_THROW(spec.validate(), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
 // Shipped scenario files: the acceptance pin
 // ---------------------------------------------------------------------------
 

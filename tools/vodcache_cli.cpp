@@ -44,6 +44,18 @@
 //                         policy (the registry is the single source of
 //                         truth for these names), then exit
 //   --replicate           replicate stream-saturated segments
+// Tier options (run; any --hub-* flag adds a regional hub tier between
+// the neighborhoods and the origin):
+//   --hub-capacity-gb N   pooled storage per hub node         [0]
+//   --hub-fan-in N        neighborhoods per hub node          [8]
+//   --hub-link-gbps F     hub refresh uplink cap, 0 = none    [0]
+//   --hub-cost-per-gb F   transfer cost per GB served by hub  [0.01]
+//   --origin-cost-per-gb F  transfer cost per GB from origin  [0.05]
+//   --prefetch P          hub prior-storing policy (see --list-tiers)
+//   --prefetch-refresh-hours N  prefetch plan rotation period [24]
+//   --list-tiers          print every registered prefetch policy (the
+//                         registry is the single source of truth for
+//                         these names), then exit
 //   --threads N           worker threads for the sharded replay;
 //                         the report is bit-identical for any N  [1]
 //   --warmup-days N       measurement warmup exclusion        [7]
@@ -122,6 +134,18 @@ std::int64_t parse_int(const std::string& text, const char* option,
   return *value;
 }
 
+double parse_double(const std::string& text, const char* option,
+                    double min_value, double max_value) {
+  const auto value = util::parse_strict<double>(text);
+  if (!value || *value < min_value || *value > max_value) {
+    usage((std::string(option) + " needs a number in [" +
+           std::to_string(min_value) + ", " + std::to_string(max_value) +
+           "], got '" + text + "'")
+              .c_str());
+  }
+  return *value;
+}
+
 double parse_fraction(const std::string& text, const char* option) {
   const auto value = util::parse_strict<double>(text);
   if (!value || *value <= 0.0 || *value > 1.0) {
@@ -145,6 +169,12 @@ core::AdmissionKind parse_admission(const std::string& name) {
             .c_str());
 }
 
+core::PrefetchKind parse_prefetch(const std::string& name) {
+  if (const auto* entry = core::find_prefetch(name)) return entry->kind;
+  usage(("unknown prefetch policy (use " + core::prefetch_keys() + ")")
+            .c_str());
+}
+
 [[noreturn]] void list_strategies() {
   analysis::Table scorers({"strategy", "report name", "what it does"});
   for (const auto& entry : core::scorer_registry()) {
@@ -159,6 +189,16 @@ core::AdmissionKind parse_admission(const std::string& name) {
   }
   std::cout << "\nadmission policies (--admission-policy):\n";
   admissions.print(std::cout);
+  std::exit(0);
+}
+
+[[noreturn]] void list_tiers() {
+  analysis::Table prefetches({"prefetch", "report name", "what it does"});
+  for (const auto& entry : core::prefetch_registry()) {
+    prefetches.add_row({entry.key, entry.display, entry.summary});
+  }
+  std::cout << "hub prefetch policies (--prefetch):\n";
+  prefetches.print(std::cout);
   std::exit(0);
 }
 
@@ -179,11 +219,22 @@ CliOptions parse(int argc, char** argv) {
   options.command = argv[1];
   if (options.command == "--list-strategies") list_strategies();
   if (options.command == "--list-scenarios") list_scenarios();
+  if (options.command == "--list-tiers") list_tiers();
   options.workload.days = 21;
 
   auto need_value = [&](int& i) -> std::string {
     if (i + 1 >= argc) usage("missing value for option");
     return argv[++i];
+  };
+
+  // The hub tier any --hub-* flag configures, created on first use (a
+  // scenario file's [tiers] hub, if one was loaded earlier, is reused so
+  // later flags override the file, matching every other option).
+  auto hub = [&]() -> hfc::TierLevelSpec& {
+    if (options.system.tiers.empty()) {
+      options.system.tiers.push_back(hfc::TierLevelSpec{});
+    }
+    return options.system.tiers.back();
   };
 
   for (int i = 2; i < argc; ++i) {
@@ -252,6 +303,28 @@ CliOptions parse(int argc, char** argv) {
           parse_int(need_value(i), "--lag-minutes", 0, kMaxHours * 60));
     } else if (arg == "--segment-admission") {
       options.system.admission = core::CacheAdmission::Segment;
+    } else if (arg == "--hub-capacity-gb") {
+      hub().capacity = DataSize::gigabytes(
+          parse_int(need_value(i), "--hub-capacity-gb", 0, kMaxGigabytes));
+    } else if (arg == "--hub-fan-in") {
+      hub().fan_in = static_cast<std::uint32_t>(
+          parse_int(need_value(i), "--hub-fan-in", 1, kMaxCount));
+    } else if (arg == "--hub-link-gbps") {
+      hub().uplink = DataRate::gigabits_per_second(
+          parse_double(need_value(i), "--hub-link-gbps", 0.0, 1e6));
+    } else if (arg == "--hub-cost-per-gb") {
+      hub().cost_per_gb =
+          parse_double(need_value(i), "--hub-cost-per-gb", 0.0, 1e6);
+    } else if (arg == "--origin-cost-per-gb") {
+      options.system.origin_cost_per_gb =
+          parse_double(need_value(i), "--origin-cost-per-gb", 0.0, 1e6);
+    } else if (arg == "--prefetch") {
+      options.system.prefetch.kind = parse_prefetch(need_value(i));
+    } else if (arg == "--prefetch-refresh-hours") {
+      options.system.prefetch.refresh = sim::SimTime::hours(
+          parse_int(need_value(i), "--prefetch-refresh-hours", 1, kMaxHours));
+    } else if (arg == "--list-tiers") {
+      list_tiers();
     } else if (arg == "--replicate") {
       options.system.replicate_on_busy = true;
     } else if (arg == "--threads") {
@@ -302,6 +375,15 @@ CliOptions parse(int argc, char** argv) {
   if (!options.system.per_peer_storage.multipliable_by(
           options.system.neighborhood_size)) {
     usage("--per-peer-gb x --neighborhood overflows total capacity");
+  }
+  // Same product guard one tier up: a hub pools fan-in neighborhoods'
+  // worth of demand against its capacity.
+  for (const auto& tier : options.system.tiers) {
+    if (!tier.capacity.multipliable_by(tier.fan_in)) {
+      usage(("--hub-capacity-gb x --hub-fan-in overflows total " +
+             tier.name + " capacity")
+                .c_str());
+    }
   }
   // Generated workloads: the scaled id spaces are known before the (costly)
   // source is built — reject overflow here.  CSV workloads re-check after
