@@ -62,14 +62,15 @@ int run_thread_scaling(const trace::SessionSource& source,
   struct Sample {
     int threads;
     double wall_ms;
+    double sessions_per_sec;
     long peak_rss_kb;
   };
   std::vector<Sample> samples;
   std::string reference_json;
   bool identical = true;
 
-  analysis::Table table(
-      {"threads", "wall s", "speedup", "peak RSS MB", "identical"});
+  analysis::Table table({"threads", "wall s", "speedup", "sessions/s",
+                         "peak RSS MB", "identical"});
   for (const int threads : {1, 2, 4, 8}) {
     auto config = base;
     config.threads = static_cast<std::uint32_t>(threads);
@@ -86,10 +87,13 @@ int run_thread_scaling(const trace::SessionSource& source,
     } else if (json != reference_json) {
       identical = false;
     }
-    samples.push_back({threads, wall_ms, bench::peak_rss_kb()});
+    samples.push_back({threads, wall_ms,
+                       bench::sessions_per_sec(report.sessions, wall_ms),
+                       bench::peak_rss_kb()});
     table.add_row({std::to_string(threads),
                    analysis::Table::num(wall_ms / 1000.0, 2),
                    analysis::Table::num(samples.front().wall_ms / wall_ms, 2),
+                   analysis::Table::num(samples.back().sessions_per_sec, 0),
                    analysis::Table::num(
                        static_cast<double>(samples.back().peak_rss_kb) /
                            1024.0, 0),
@@ -113,6 +117,7 @@ int run_thread_scaling(const trace::SessionSource& source,
     out << (i ? "," : "") << "{\"threads\":" << samples[i].threads
         << ",\"wall_ms\":" << samples[i].wall_ms << ",\"speedup\":"
         << samples.front().wall_ms / samples[i].wall_ms
+        << ",\"sessions_per_sec\":" << samples[i].sessions_per_sec
         << ",\"peak_rss_kb\":" << samples[i].peak_rss_kb << '}';
   }
   out << "]}\n";

@@ -3,7 +3,10 @@
 // store, workload sampling, and the end-to-end event loop.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "cache/lfu.hpp"
 #include "cache/lru.hpp"
@@ -125,6 +128,83 @@ void BM_SegmentStoreChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10);
 }
 BENCHMARK(BM_SegmentStoreChurn);
+
+void BM_SegmentStoreLocate(benchmark::State& state) {
+  // The read side of every segment request: locate() must return its
+  // replica span without touching the allocator.  ~2000 programs x 10
+  // segments resident, random lookups, ~half of them misses.
+  cache::SegmentStore store(
+      std::vector<DataSize>(1000, DataSize::gigabytes(10)));
+  const auto seg = DataSize::megabytes(3);
+  for (std::uint32_t p = 0; p < 2000; ++p) {
+    for (std::uint32_t s = 0; s < 10; ++s) {
+      (void)store.store({ProgramId{p}, s}, seg);
+    }
+  }
+  Rng rng(7);
+  for (auto _ : state) {
+    const cache::SegmentKey key{
+        ProgramId{static_cast<std::uint32_t>(rng.uniform_u64(4000))},
+        static_cast<std::uint32_t>(rng.uniform_u64(10))};
+    benchmark::DoNotOptimize(store.locate(key).size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SegmentStoreLocate);
+
+void BM_SegmentStoreEvict(benchmark::State& state) {
+  // Steady store/evict cycle on one program: ten segments in, program out,
+  // arena blocks and table slots recycled every iteration.
+  cache::SegmentStore store(
+      std::vector<DataSize>(100, DataSize::gigabytes(10)));
+  const auto seg = DataSize::megabytes(302);
+  for (auto _ : state) {
+    for (std::uint32_t s = 0; s < 10; ++s) {
+      (void)store.store({ProgramId{0}, s}, seg);
+    }
+    store.evict_program(ProgramId{0});
+  }
+  state.SetItemsProcessed(state.iterations() * 11);
+}
+BENCHMARK(BM_SegmentStoreEvict);
+
+void BM_BoundaryBatchMerge(benchmark::State& state) {
+  // The shard's batched-boundary pattern in isolation: generate every
+  // session's segment boundaries into a scratch buffer, sort once by
+  // (time, global index), scan.  Compare against BM_EventQueuePushPop at
+  // the same n — that is the per-event heap discipline this replaced.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  struct Boundary {
+    std::int64_t time_ms;
+    std::uint64_t index;
+  };
+  Rng rng(8);
+  std::vector<std::int64_t> starts(n / 16 + 1);
+  for (auto& s : starts) {
+    s = static_cast<std::int64_t>(rng.uniform_u64(1'000'000));
+  }
+  std::vector<Boundary> scratch;
+  for (auto _ : state) {
+    scratch.clear();
+    // ~16 boundaries per session, 5-minute segments — the shard's shape.
+    for (std::size_t s = 0; scratch.size() < n; ++s) {
+      const auto base = starts[s % starts.size()];
+      for (std::int64_t k = 1; k <= 16 && scratch.size() < n; ++k) {
+        scratch.push_back({base + k * 300'000, s});
+      }
+    }
+    std::sort(scratch.begin(), scratch.end(),
+              [](const Boundary& a, const Boundary& b) {
+                if (a.time_ms != b.time_ms) return a.time_ms < b.time_ms;
+                return a.index < b.index;
+              });
+    std::int64_t checksum = 0;
+    for (const auto& b : scratch) checksum += b.time_ms;
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * 2);
+}
+BENCHMARK(BM_BoundaryBatchMerge)->Arg(1024)->Arg(65536);
 
 void BM_TraceGeneration(benchmark::State& state) {
   trace::GeneratorConfig config;

@@ -157,7 +157,8 @@ int main() {
   }
   out << "{\"bench\":\"policy_matrix\",\"days\":" << days
       << ",\"users\":" << trace.user_count() << ",\"headroom_fraction\":"
-      << config.admission_policy.headroom_fraction << ",\"rows\":[";
+      << config.admission_policy.headroom_fraction
+      << ",\"peak_rss_kb\":" << bench::peak_rss_kb() << ",\"rows\":[";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& row = rows[i];
     out << (i ? "," : "") << "{\"scorer\":\"" << row.scorer

@@ -198,7 +198,8 @@ int main() {
     std::cerr << "FAIL: cannot write " << path << '\n';
     return 1;
   }
-  out << "{\"bench\":\"scenarios\",\"scenarios\":[";
+  out << "{\"bench\":\"scenarios\",\"peak_rss_kb\":" << bench::peak_rss_kb()
+      << ",\"scenarios\":[";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& result = results[i];
     out << (i ? "," : "") << "{\"name\":\"" << json_escape(result.spec.name)

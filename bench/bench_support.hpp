@@ -9,6 +9,7 @@
 // clock).
 #pragma once
 
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -92,6 +93,38 @@ inline core::SimulationReport run_system(const trace::SessionSource& source,
       workload_threads(static_cast<int>(config.threads)));
   core::VodSystem system(source, actual);
   return system.run();
+}
+
+// A run plus how long it took — the unit the throughput ratchet consumes.
+struct TimedReport {
+  core::SimulationReport report;
+  double wall_ms = 0.0;
+};
+
+// Sessions replayed per wall-clock second: the engine's first-class
+// throughput number (ISSUE 7).  Zero when the clock read as zero (a
+// degenerate sub-millisecond run), never a division fault.
+inline double sessions_per_sec(std::uint64_t sessions, double wall_ms) {
+  return wall_ms > 0.0 ? static_cast<double>(sessions) / (wall_ms / 1000.0)
+                       : 0.0;
+}
+
+inline double sessions_per_sec(const TimedReport& timed) {
+  return sessions_per_sec(timed.report.sessions, timed.wall_ms);
+}
+
+// run_system with the wall clock around it.  The clock wraps construction
+// too: shard setup is part of the cost of serving a workload.
+template <typename TraceOrSource>
+inline TimedReport run_system_timed(const TraceOrSource& input,
+                                    const core::SystemConfig& config) {
+  const auto begin = std::chrono::steady_clock::now();
+  TimedReport timed;
+  timed.report = run_system(input, config);
+  timed.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - begin)
+                      .count();
+  return timed;
 }
 
 // Process-lifetime peak resident set size in kilobytes (0 where the

@@ -173,7 +173,8 @@ int main() {
     return 1;
   }
   out << "{\"bench\":\"tiers\",\"days\":" << days
-      << ",\"users\":" << trace.user_count() << ",\"rows\":[";
+      << ",\"users\":" << trace.user_count()
+      << ",\"peak_rss_kb\":" << bench::peak_rss_kb() << ",\"rows\":[";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& row = rows[i];
     out << (i ? "," : "") << "{\"shape\":\"" << row.shape.name

@@ -13,9 +13,9 @@ void LfuStrategy::expire(sim::SimTime now) {
   while (!window_.empty() && window_.front().time < cutoff) {
     const ProgramId program = window_.front().program;
     window_.pop_front();
-    auto it = counts_.find(program);
-    VODCACHE_ASSERT(it != counts_.end() && it->second > 0);
-    if (--it->second == 0) counts_.erase(it);
+    std::int64_t* count = counts_.find(program.value());
+    VODCACHE_ASSERT(count != nullptr && *count > 0);
+    if (--*count == 0) counts_.erase(program.value());
     // Re-rank if this program is cached.
     cached().update(program, score(program, now));
   }
@@ -23,23 +23,31 @@ void LfuStrategy::expire(sim::SimTime now) {
 
 void LfuStrategy::record_access(ProgramId program, sim::SimTime t) {
   expire(t);
-  last_access_[program] = next_sequence();
+  const std::int64_t seq = next_sequence();
+  if (std::int64_t* last = last_access_.find(program.value())) {
+    *last = seq;
+  } else {
+    last_access_.insert(program.value(), seq);
+  }
   if (history_ > sim::SimTime{}) {
     window_.push_back({t, program});
-    ++counts_[program];
+    if (std::int64_t* count = counts_.find(program.value())) {
+      ++*count;
+    } else {
+      counts_.insert(program.value(), 1);
+    }
   }
   cached().update(program, score(program, t));
 }
 
 Score LfuStrategy::score(ProgramId program, sim::SimTime /*t*/) {
-  const auto last = last_access_.find(program);
-  const std::int64_t seq = last == last_access_.end() ? 0 : last->second;
-  return {frequency(program), seq};
+  const std::int64_t* last = last_access_.find(program.value());
+  return {frequency(program), last == nullptr ? 0 : *last};
 }
 
 std::int64_t LfuStrategy::frequency(ProgramId program) const {
-  const auto it = counts_.find(program);
-  return it == counts_.end() ? 0 : it->second;
+  const std::int64_t* count = counts_.find(program.value());
+  return count == nullptr ? 0 : *count;
 }
 
 }  // namespace vodcache::cache

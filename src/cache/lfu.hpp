@@ -6,17 +6,20 @@
 //
 // Score = (accesses within the sliding window, recency sequence).  The
 // window advances on every access; expiring an event decrements its
-// program's count and, if that program is cached, re-ranks it — this is why
-// the cached set uses an exact ordered index rather than a lazy heap.
+// program's count and, if that program is cached, re-ranks it — CachedSet
+// absorbs the downward move by pushing a fresh heap entry.
+//
+// State lives in flat containers (util/flat_map.hpp): the event window in
+// a ring buffer that grows to its high-water mark and then cycles
+// allocation-free, the per-program counts and recency sequences in
+// open-addressed tables sized by the touched content set.
 //
 // history == 0 degenerates to pure LRU (the paper's figure 11 uses this as
 // its leftmost point).
 #pragma once
 
-#include <deque>
-#include <unordered_map>
-
 #include "cache/strategy.hpp"
+#include "util/flat_map.hpp"
 
 namespace vodcache::cache {
 
@@ -42,9 +45,9 @@ class LfuStrategy final : public ScoredStrategy {
   };
 
   sim::SimTime history_;
-  std::deque<HistoryEvent> window_;
-  std::unordered_map<ProgramId, std::int64_t> counts_;
-  std::unordered_map<ProgramId, std::int64_t> last_access_;
+  util::RingBuffer<HistoryEvent> window_;
+  util::FlatMap64<std::int64_t> counts_;
+  util::FlatMap64<std::int64_t> last_access_;
 };
 
 }  // namespace vodcache::cache

@@ -4,15 +4,18 @@ namespace vodcache::cache {
 
 void LruStrategy::record_access(ProgramId program, sim::SimTime t) {
   const std::int64_t seq = next_sequence();
-  last_access_[program] = seq;
+  if (std::int64_t* last = last_access_.find(program.value())) {
+    *last = seq;
+  } else {
+    last_access_.insert(program.value(), seq);
+  }
   cached().update(program, score(program, t));
 }
 
 Score LruStrategy::score(ProgramId program, sim::SimTime /*t*/) {
-  const auto it = last_access_.find(program);
+  const std::int64_t* it = last_access_.find(program.value());
   // Never-accessed programs (possible when a store is pre-seeded) rank last.
-  const std::int64_t seq = it == last_access_.end() ? 0 : it->second;
-  return {seq, 0};
+  return {it == nullptr ? 0 : *it, 0};
 }
 
 }  // namespace vodcache::cache

@@ -9,9 +9,8 @@
 // exactly as the paper specifies.
 #pragma once
 
-#include <unordered_map>
-
 #include "cache/strategy.hpp"
+#include "util/flat_map.hpp"
 
 namespace vodcache::cache {
 
@@ -23,7 +22,7 @@ class LruStrategy final : public ScoredStrategy {
   [[nodiscard]] Score score(ProgramId program, sim::SimTime t) override;
 
  private:
-  std::unordered_map<ProgramId, std::int64_t> last_access_;
+  util::FlatMap64<std::int64_t> last_access_;
 };
 
 }  // namespace vodcache::cache

@@ -6,8 +6,11 @@ namespace vodcache::cache {
 
 SegmentStore::SegmentStore(std::vector<DataSize> peer_contributions)
     : contribution_(std::move(peer_contributions)),
-      used_by_peer_(contribution_.size()) {
+      used_by_peer_(contribution_.size()),
+      heap_bound_(std::max<std::size_t>(64, contribution_.size() * 4)) {
   VODCACHE_EXPECTS(!contribution_.empty());
+  free_heap_.reserve(heap_bound_ + 1);
+  parked_.reserve(heap_bound_ + 1);
   for (std::size_t i = 0; i < contribution_.size(); ++i) {
     VODCACHE_EXPECTS(contribution_[i] >= DataSize{});
     capacity_ += contribution_[i];
@@ -15,92 +18,160 @@ SegmentStore::SegmentStore(std::vector<DataSize> peer_contributions)
   }
 }
 
-void SegmentStore::push_heap_entry(std::uint32_t peer) {
-  const DataSize free = contribution_[peer] - used_by_peer_[peer];
-  free_heap_.emplace(free.bit_count(), peer);
+void SegmentStore::compact_heap() {
+  // Rebuild with exactly one fresh (hence valid) entry per peer.  Stale
+  // entries never survive a pop and duplicate valid entries are identical
+  // pairs, so the multiset of valid entries — the only thing top() and the
+  // best_peer scan depend on — is preserved exactly.
+  free_heap_.clear();
+  for (std::uint32_t peer = 0;
+       peer < static_cast<std::uint32_t>(contribution_.size()); ++peer) {
+    const DataSize free = contribution_[peer] - used_by_peer_[peer];
+    free_heap_.emplace_back(free.bit_count(), peer);
+  }
+  std::make_heap(free_heap_.begin(), free_heap_.end());
 }
 
-std::optional<PeerId> SegmentStore::best_peer(
-    DataSize bytes, const std::vector<PeerId>& exclude) {
+void SegmentStore::push_heap_entry(std::uint32_t peer) {
+  if (free_heap_.size() >= heap_bound_) compact_heap();
+  const DataSize free = contribution_[peer] - used_by_peer_[peer];
+  free_heap_.emplace_back(free.bit_count(), peer);
+  std::push_heap(free_heap_.begin(), free_heap_.end());
+}
+
+std::optional<PeerId> SegmentStore::best_peer(DataSize bytes,
+                                              std::span<const PeerId> exclude) {
   // Valid-but-excluded entries are parked and re-pushed afterwards so the
   // heap keeps its "true maximum always present" invariant.
-  std::vector<HeapEntry> parked;
+  parked_.clear();
   std::optional<PeerId> chosen;
   while (!free_heap_.empty()) {
-    const auto [claimed_free, peer] = free_heap_.top();
+    const auto [claimed_free, peer] = free_heap_.front();
     const DataSize actual_free = contribution_[peer] - used_by_peer_[peer];
     if (claimed_free != actual_free.bit_count()) {
       // Stale entry; a fresh one was pushed when the peer last changed.
-      free_heap_.pop();
+      std::pop_heap(free_heap_.begin(), free_heap_.end());
+      free_heap_.pop_back();
       continue;
     }
     if (actual_free < bytes) break;  // max free can't fit
     if (std::find(exclude.begin(), exclude.end(), PeerId{peer}) !=
         exclude.end()) {
-      parked.push_back(free_heap_.top());
-      free_heap_.pop();
+      parked_.push_back(free_heap_.front());
+      std::pop_heap(free_heap_.begin(), free_heap_.end());
+      free_heap_.pop_back();
       continue;
     }
     chosen = PeerId{peer};
     break;
   }
-  for (const auto& entry : parked) free_heap_.push(entry);
+  for (const auto& entry : parked_) {
+    free_heap_.push_back(entry);
+    std::push_heap(free_heap_.begin(), free_heap_.end());
+  }
   return chosen;
 }
 
 bool SegmentStore::contains(SegmentKey key) const {
-  return location_.contains(key);
+  return segments_.contains(pack(key));
 }
 
-const std::vector<PeerId>& SegmentStore::locate(SegmentKey key) const {
-  static const std::vector<PeerId> kNone;
-  const auto it = location_.find(key);
-  return it == location_.end() ? kNone : it->second;
+std::span<const PeerId> SegmentStore::locate(SegmentKey key) const {
+  const SegmentEntry* entry = segments_.find(pack(key));
+  if (entry == nullptr) return {};
+  return {replica_peers_.data(entry->off), entry->count};
 }
 
 bool SegmentStore::has_program(ProgramId program) const {
-  return by_program_.contains(program);
+  return programs_.contains(program.value());
 }
 
 std::optional<PeerId> SegmentStore::store(SegmentKey key, DataSize bytes) {
   VODCACHE_EXPECTS(bytes > DataSize{});
-  auto& replicas = location_[key];
-  const auto peer = best_peer(bytes, replicas);
-  if (!peer) {
-    if (replicas.empty()) location_.erase(key);
-    return std::nullopt;
-  }
+  const std::uint64_t packed = pack(key);
+  SegmentEntry* entry = segments_.find(packed);
+  const std::span<const PeerId> exclude =
+      entry != nullptr
+          ? std::span<const PeerId>{replica_peers_.data(entry->off),
+                                    entry->count}
+          : std::span<const PeerId>{};
+  const auto peer = best_peer(bytes, exclude);
+  if (!peer) return std::nullopt;
 
   const auto p = peer->value();
   used_by_peer_[p] += bytes;
   used_ += bytes;
   push_heap_entry(p);
 
-  replicas.push_back(*peer);
-  by_program_[key.program].push_back({key.index, *peer, bytes});
+  if (entry == nullptr) {
+    SegmentEntry fresh;
+    fresh.cap_log2 = 0;
+    fresh.off = replica_peers_.allocate(0);
+    // The bytes arena mirrors the peers arena class for class, so the two
+    // blocks always share one offset.
+    const std::uint32_t bytes_off = replica_bytes_.allocate(0);
+    VODCACHE_ASSERT(bytes_off == fresh.off);
+    entry = &segments_.insert(packed, fresh);
+
+    // First replica of this (program, index): register the segment index
+    // under its program.
+    ProgramEntry* prog = programs_.find(key.program.value());
+    if (prog == nullptr) {
+      ProgramEntry fresh_prog;
+      fresh_prog.cap_log2 = 2;
+      fresh_prog.off = segment_lists_.allocate(fresh_prog.cap_log2);
+      prog = &programs_.insert(key.program.value(), fresh_prog);
+    }
+    if (prog->count == (1u << prog->cap_log2)) {
+      prog->off = segment_lists_.grow(prog->off, prog->cap_log2, prog->count);
+      ++prog->cap_log2;
+    }
+    segment_lists_.data(prog->off)[prog->count++] = key.index;
+  } else if (entry->count == (1u << entry->cap_log2)) {
+    const std::uint32_t old_off = entry->off;
+    entry->off = replica_peers_.grow(old_off, entry->cap_log2, entry->count);
+    const std::uint32_t bytes_off =
+        replica_bytes_.grow(old_off, entry->cap_log2, entry->count);
+    VODCACHE_ASSERT(bytes_off == entry->off);
+    ++entry->cap_log2;
+  }
+  replica_peers_.data(entry->off)[entry->count] = *peer;
+  replica_bytes_.data(entry->off)[entry->count] = bytes.bit_count();
+  ++entry->count;
   return peer;
 }
 
 DataSize SegmentStore::evict_program(ProgramId program) {
   // Release the whole-program commitment (if any) even when no segment has
   // materialized yet.
-  if (const auto committed = commitment_.find(program);
-      committed != commitment_.end()) {
-    committed_total_ -= committed->second;
-    commitment_.erase(committed);
+  if (const std::int64_t* bits = commitment_bits_.find(program.value())) {
+    committed_total_ -= DataSize::bits(*bits);
+    commitment_bits_.erase(program.value());
   }
-  const auto it = by_program_.find(program);
-  if (it == by_program_.end()) return DataSize{};
+  ProgramEntry* prog = programs_.find(program.value());
+  if (prog == nullptr) return DataSize{};
   DataSize freed;
-  for (const auto& segment : it->second) {
-    const auto p = segment.peer.value();
-    used_by_peer_[p] -= segment.bytes;
-    used_ -= segment.bytes;
-    push_heap_entry(p);
-    freed += segment.bytes;
-    location_.erase(SegmentKey{program, segment.index});
+  const std::uint32_t* indexes = segment_lists_.data(prog->off);
+  for (std::uint32_t i = 0; i < prog->count; ++i) {
+    const std::uint64_t packed = pack({program, indexes[i]});
+    SegmentEntry* entry = segments_.find(packed);
+    VODCACHE_ASSERT(entry != nullptr);
+    const PeerId* peers = replica_peers_.data(entry->off);
+    const std::int64_t* bytes = replica_bytes_.data(entry->off);
+    for (std::uint16_t r = 0; r < entry->count; ++r) {
+      const auto p = peers[r].value();
+      const DataSize replica = DataSize::bits(bytes[r]);
+      used_by_peer_[p] -= replica;
+      used_ -= replica;
+      push_heap_entry(p);
+      freed += replica;
+    }
+    replica_peers_.release(entry->off, entry->cap_log2);
+    replica_bytes_.release(entry->off, entry->cap_log2);
+    segments_.erase(packed);
   }
-  by_program_.erase(it);
+  segment_lists_.release(prog->off, prog->cap_log2);
+  programs_.erase(program.value());
   VODCACHE_ENSURES(used_ >= DataSize{});
   return freed;
 }
@@ -108,26 +179,52 @@ DataSize SegmentStore::evict_program(ProgramId program) {
 SegmentStore::WipeResult SegmentStore::wipe_peer(PeerId peer) {
   VODCACHE_EXPECTS(peer.value() < used_by_peer_.size());
   WipeResult result;
-  for (auto it = by_program_.begin(); it != by_program_.end();) {
-    auto& segments = it->second;
-    for (const auto& segment : segments) {
-      if (segment.peer != peer) continue;
-      result.freed += segment.bytes;
-      // Drop this replica from the location index.
-      const SegmentKey key{it->first, segment.index};
-      auto& replicas = location_.at(key);
-      std::erase(replicas, peer);
-      if (replicas.empty()) location_.erase(key);
+  // Flat-table slot order depends on insert/erase history; visiting
+  // programs in ascending id order keeps the wipe — and the emptied-program
+  // report driving segment-admission untracking — a pure function of the
+  // stored contents.
+  wipe_programs_.clear();
+  programs_.for_each([this](std::uint64_t key, const ProgramEntry&) {
+    wipe_programs_.push_back(static_cast<std::uint32_t>(key));
+  });
+  std::sort(wipe_programs_.begin(), wipe_programs_.end());
+
+  for (const std::uint32_t program : wipe_programs_) {
+    ProgramEntry* prog = programs_.find(program);
+    std::uint32_t* indexes = segment_lists_.data(prog->off);
+    for (std::uint32_t i = 0; i < prog->count;) {
+      const std::uint64_t packed = pack({ProgramId{program}, indexes[i]});
+      SegmentEntry* entry = segments_.find(packed);
+      VODCACHE_ASSERT(entry != nullptr);
+      PeerId* peers = replica_peers_.data(entry->off);
+      std::uint16_t r = 0;
+      while (r < entry->count && peers[r] != peer) ++r;
+      if (r == entry->count) {
+        ++i;
+        continue;  // this replica set survives the wipe
+      }
+      // drop_replica erases the segment (invalidating `entry`) when this is
+      // the last replica — decide before calling.
+      const bool emptied = entry->count == 1;
+      result.freed += drop_replica(packed, *entry, r);
+      if (emptied) {
+        // Last replica gone: the segment itself is gone; drop its index
+        // from the program's list (order preserved for determinism).
+        for (std::uint32_t j = i + 1; j < prog->count; ++j) {
+          indexes[j - 1] = indexes[j];
+        }
+        --prog->count;
+      } else {
+        ++i;
+      }
     }
-    std::erase_if(segments,
-                  [peer](const StoredSegment& s) { return s.peer == peer; });
-    if (segments.empty()) {
-      result.emptied_programs.push_back(it->first);
-      it = by_program_.erase(it);
-    } else {
-      ++it;
+    if (prog->count == 0) {
+      result.emptied_programs.push_back(ProgramId{program});
+      segment_lists_.release(prog->off, prog->cap_log2);
+      programs_.erase(program);
     }
   }
+
   used_by_peer_[peer.value()] -= result.freed;
   used_ -= result.freed;
   push_heap_entry(peer.value());
@@ -135,28 +232,43 @@ SegmentStore::WipeResult SegmentStore::wipe_peer(PeerId peer) {
   return result;
 }
 
+DataSize SegmentStore::drop_replica(std::uint64_t packed, SegmentEntry& entry,
+                                    std::uint16_t r) {
+  PeerId* peers = replica_peers_.data(entry.off);
+  std::int64_t* bytes = replica_bytes_.data(entry.off);
+  const DataSize dropped = DataSize::bits(bytes[r]);
+  for (std::uint16_t j = r + 1; j < entry.count; ++j) {
+    peers[j - 1] = peers[j];
+    bytes[j - 1] = bytes[j];
+  }
+  --entry.count;
+  if (entry.count == 0) {
+    replica_peers_.release(entry.off, entry.cap_log2);
+    replica_bytes_.release(entry.off, entry.cap_log2);
+    segments_.erase(packed);
+  }
+  return dropped;
+}
+
 void SegmentStore::commit_program(ProgramId program, DataSize full_size) {
   VODCACHE_EXPECTS(full_size > DataSize{});
   VODCACHE_EXPECTS(!has_commitment(program));
-  commitment_.emplace(program, full_size);
+  commitment_bits_.insert(program.value(), full_size.bit_count());
   committed_total_ += full_size;
 }
 
 bool SegmentStore::has_commitment(ProgramId program) const {
-  return commitment_.contains(program);
+  return commitment_bits_.contains(program.value());
 }
 
 bool SegmentStore::can_place(SegmentKey key, DataSize bytes) {
   VODCACHE_EXPECTS(bytes > DataSize{});
-  const auto it = location_.find(key);
-  static const std::vector<PeerId> kNone;
-  const auto& exclude = it == location_.end() ? kNone : it->second;
-  return best_peer(bytes, exclude).has_value();
+  return best_peer(bytes, locate(key)).has_value();
 }
 
 std::size_t SegmentStore::replica_count(SegmentKey key) const {
-  const auto it = location_.find(key);
-  return it == location_.end() ? 0 : it->second.size();
+  const SegmentEntry* entry = segments_.find(pack(key));
+  return entry == nullptr ? 0 : entry->count;
 }
 
 DataSize SegmentStore::peer_used(PeerId peer) const {
@@ -170,17 +282,29 @@ DataSize SegmentStore::peer_contribution(PeerId peer) const {
 }
 
 DataSize SegmentStore::program_bytes(ProgramId program) const {
-  const auto it = by_program_.find(program);
-  if (it == by_program_.end()) return DataSize{};
+  const ProgramEntry* prog = programs_.find(program.value());
+  if (prog == nullptr) return DataSize{};
   DataSize total;
-  for (const auto& segment : it->second) total += segment.bytes;
+  const std::uint32_t* indexes = segment_lists_.data(prog->off);
+  for (std::uint32_t i = 0; i < prog->count; ++i) {
+    const SegmentEntry* entry =
+        segments_.find(pack({program, indexes[i]}));
+    VODCACHE_ASSERT(entry != nullptr);
+    const std::int64_t* bytes = replica_bytes_.data(entry->off);
+    for (std::uint16_t r = 0; r < entry->count; ++r) {
+      total += DataSize::bits(bytes[r]);
+    }
+  }
   return total;
 }
 
 std::vector<ProgramId> SegmentStore::stored_programs() const {
   std::vector<ProgramId> out;
-  out.reserve(by_program_.size());
-  for (const auto& [program, segments] : by_program_) out.push_back(program);
+  out.reserve(programs_.size());
+  programs_.for_each([&out](std::uint64_t key, const ProgramEntry&) {
+    out.push_back(ProgramId{static_cast<std::uint32_t>(key)});
+  });
+  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -6,15 +6,35 @@
 // each program is located": each incoming segment goes to the peer with the
 // most free contributed storage; eviction is whole-program and frees every
 // peer's slice.
+//
+// Layout: everything the event loop touches lives in flat tables and pooled
+// arrays (util/flat_map.hpp) —
+//
+//   segments_  : packed (program, index) key -> replica block handle.  A
+//                segment's replica peers are one contiguous run in a pooled
+//                arena, so locate() returns a span without allocating;
+//                per-replica byte counts ride in a parallel arena block.
+//   programs_  : program -> pooled list of its stored segment indexes
+//                (whole-program eviction walks this instead of a per-replica
+//                node list).
+//   commitment_bits_ : program -> committed whole-program footprint.
+//
+// Evict and failure-wipe release blocks back onto the arenas' freelists, so
+// steady-state churn stores and evicts without heap traffic.  The placement
+// heap is a lazy max-heap over (free space, peer) kept in a bounded vector:
+// every entry is revalidated against live accounting before use, so which
+// entries happen to coexist — and when the heap compacts back to one fresh
+// entry per peer — cannot change any placement decision (the comparator is
+// a total order; top() depends only on the multiset of valid entries).
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <queue>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/flat_map.hpp"
 #include "util/ids.hpp"
 #include "util/units.hpp"
 
@@ -41,8 +61,10 @@ class SegmentStore {
   explicit SegmentStore(std::vector<DataSize> peer_contributions);
 
   [[nodiscard]] bool contains(SegmentKey key) const;
-  // All peers holding a replica of the segment (possibly empty).
-  [[nodiscard]] const std::vector<PeerId>& locate(SegmentKey key) const;
+  // All peers holding a replica of the segment (possibly empty), in the
+  // order the replicas were stored.  The span points into the replica
+  // arena: valid until the next store/evict/wipe.
+  [[nodiscard]] std::span<const PeerId> locate(SegmentKey key) const;
 
   // True if any segment of the program is stored.
   [[nodiscard]] bool has_program(ProgramId program) const;
@@ -68,7 +90,7 @@ class SegmentStore {
   [[nodiscard]] bool has_commitment(ProgramId program) const;
   [[nodiscard]] DataSize committed_total() const { return committed_total_; }
   [[nodiscard]] std::size_t committed_program_count() const {
-    return commitment_.size();
+    return commitment_bits_.size();
   }
 
   // Removes every segment of `program`; returns bytes freed.
@@ -79,7 +101,8 @@ class SegmentStore {
   // server still considers those programs admitted and will re-fill them
   // from future miss broadcasts.  Returns the programs that lost their
   // *last* stored segment (callers running segment-granularity admission
-  // need to un-track those) and the bytes freed.
+  // need to un-track those) and the bytes freed.  Programs are visited —
+  // and emptied programs reported — in ascending id order.
   struct WipeResult {
     DataSize freed;
     std::vector<ProgramId> emptied_programs;
@@ -95,42 +118,72 @@ class SegmentStore {
 
   // Distinct segment keys stored (replicas count once).
   [[nodiscard]] std::size_t stored_segment_count() const {
-    return location_.size();
+    return segments_.size();
   }
   [[nodiscard]] std::size_t replica_count(SegmentKey key) const;
   [[nodiscard]] std::size_t stored_program_count() const {
-    return by_program_.size();
+    return programs_.size();
   }
   [[nodiscard]] DataSize program_bytes(ProgramId program) const;
+  // Programs with at least one stored segment, ascending by id.
   [[nodiscard]] std::vector<ProgramId> stored_programs() const;
 
  private:
-  struct StoredSegment {
-    std::uint32_t index;
-    PeerId peer;
-    DataSize bytes;
+  // Replica block of one stored segment: `count` peers at replica arena
+  // offset `off`, with the per-replica byte counts at the same offset in
+  // the parallel bytes arena; both blocks hold 2^cap_log2 slots.
+  struct SegmentEntry {
+    std::uint32_t off = 0;
+    std::uint16_t count = 0;
+    std::uint8_t cap_log2 = 0;
   };
+  // Pooled list of a program's stored segment indexes.
+  struct ProgramEntry {
+    std::uint32_t off = 0;
+    std::uint32_t count = 0;
+    std::uint8_t cap_log2 = 0;
+  };
+
+  [[nodiscard]] static std::uint64_t pack(SegmentKey key) {
+    return (static_cast<std::uint64_t>(key.program.value()) << 32) |
+           key.index;
+  }
+
+  [[nodiscard]] std::optional<PeerId> best_peer(
+      DataSize bytes, std::span<const PeerId> exclude);
+  void push_heap_entry(std::uint32_t peer);
+  void compact_heap();
+  // Drops replica `r` of the segment at `packed`, adjusting global (but not
+  // per-peer) accounting; erases the segment when it was the last replica.
+  // Returns the replica's bytes.
+  DataSize drop_replica(std::uint64_t packed, SegmentEntry& entry,
+                        std::uint16_t r);
 
   std::vector<DataSize> contribution_;
   std::vector<DataSize> used_by_peer_;
   DataSize capacity_;
   DataSize used_;
 
-  std::unordered_map<SegmentKey, std::vector<PeerId>, SegmentKeyHash>
-      location_;
-  std::unordered_map<ProgramId, std::vector<StoredSegment>> by_program_;
-  std::unordered_map<ProgramId, DataSize> commitment_;
+  util::FlatMap64<SegmentEntry> segments_;
+  util::FlatMap64<ProgramEntry> programs_;
+  util::FlatMap64<std::int64_t> commitment_bits_;
   DataSize committed_total_;
 
-  // Lazy max-heap of (free bytes, peer): entries are revalidated on pop.
-  // Free space only changes via store/evict, both of which push a fresh
-  // entry, so the true maximum is always present in the heap.
-  using HeapEntry = std::pair<std::int64_t, std::uint32_t>;
-  std::priority_queue<HeapEntry> free_heap_;
+  util::PooledArena<PeerId> replica_peers_;
+  util::PooledArena<std::int64_t> replica_bytes_;
+  util::PooledArena<std::uint32_t> segment_lists_;
 
-  [[nodiscard]] std::optional<PeerId> best_peer(DataSize bytes,
-                                                const std::vector<PeerId>& exclude);
-  void push_heap_entry(std::uint32_t peer);
+  // Lazy max-heap of (free bits, peer): entries are revalidated on pop.
+  // Free space only changes via store/evict/wipe, all of which push a
+  // fresh entry, so the true maximum is always present.  When the vector
+  // fills its bound it compacts to exactly one fresh entry per peer —
+  // the multiset of *valid* entries (what every read depends on) is
+  // unchanged, so compaction is invisible to placement.
+  using HeapEntry = std::pair<std::int64_t, std::uint32_t>;
+  std::vector<HeapEntry> free_heap_;
+  std::size_t heap_bound_;
+  std::vector<HeapEntry> parked_;               // best_peer scratch
+  std::vector<std::uint32_t> wipe_programs_;    // wipe_peer scratch
 };
 
 }  // namespace vodcache::cache

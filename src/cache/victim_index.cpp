@@ -1,48 +1,76 @@
 #include "cache/victim_index.hpp"
 
+#include <algorithm>
+#include <functional>
+
 namespace vodcache::cache {
+
+// std::greater<> turns push_heap/pop_heap into a min-heap over
+// (score, program).
+
+void CachedSet::push_entry(Score score, std::uint32_t program) {
+  const std::size_t bound = std::max<std::size_t>(64, by_program_.size() * 2 + 16);
+  if (heap_.size() >= bound) {
+    // Rebuild with exactly one live entry per program.  Live entries are
+    // what every min() answer depends on, and they are preserved exactly,
+    // so compaction is observationally invisible.
+    heap_.clear();
+    by_program_.for_each([this](std::uint64_t key, const Score& s) {
+      heap_.emplace_back(s, static_cast<std::uint32_t>(key));
+    });
+    std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  }
+  heap_.emplace_back(score, program);
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+}
 
 void CachedSet::insert(ProgramId program, Score score) {
   VODCACHE_EXPECTS(!contains(program));
-  by_program_.emplace(program, score);
-  by_score_.emplace(score, program);
+  by_program_.insert(program.value(), score);
+  push_entry(score, program.value());
 }
 
 void CachedSet::erase(ProgramId program) {
-  const auto it = by_program_.find(program);
-  VODCACHE_EXPECTS(it != by_program_.end());
-  by_score_.erase({it->second, program});
-  by_program_.erase(it);
+  const bool present = by_program_.erase(program.value());
+  VODCACHE_EXPECTS(present);
+  // Heap entries for the program go stale and die on a later pop.
 }
 
 void CachedSet::update(ProgramId program, Score score) {
-  const auto it = by_program_.find(program);
-  if (it == by_program_.end()) return;
-  if (it->second == score) return;
-  by_score_.erase({it->second, program});
-  it->second = score;
-  by_score_.emplace(score, program);
+  Score* current = by_program_.find(program.value());
+  if (current == nullptr) return;
+  if (*current == score) return;
+  *current = score;
+  push_entry(score, program.value());
 }
 
 bool CachedSet::contains(ProgramId program) const {
-  return by_program_.contains(program);
+  return by_program_.contains(program.value());
 }
 
 std::optional<CachedSet::Score> CachedSet::score_of(ProgramId program) const {
-  const auto it = by_program_.find(program);
-  if (it == by_program_.end()) return std::nullopt;
-  return it->second;
+  const Score* score = by_program_.find(program.value());
+  if (score == nullptr) return std::nullopt;
+  return *score;
 }
 
 std::optional<ProgramId> CachedSet::min() const {
-  if (by_score_.empty()) return std::nullopt;
-  return by_score_.begin()->second;
+  while (!heap_.empty()) {
+    const auto& [score, program] = heap_.front();
+    const Score* current = by_program_.find(program);
+    if (current != nullptr && *current == score) return ProgramId{program};
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
+  }
+  return std::nullopt;
 }
 
 std::vector<ProgramId> CachedSet::programs() const {
   std::vector<ProgramId> out;
   out.reserve(by_program_.size());
-  for (const auto& [program, score] : by_program_) out.push_back(program);
+  by_program_.for_each([&out](std::uint64_t key, const Score&) {
+    out.push_back(ProgramId{static_cast<std::uint32_t>(key)});
+  });
   return out;
 }
 

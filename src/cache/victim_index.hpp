@@ -1,19 +1,27 @@
 // CachedSet: the set of cached programs ordered by retention score.
 //
-// An exact ordered index (map + mirrored ordered set) rather than a lazy
-// heap: strategy scores can *decrease* (LFU history expiry, oracle horizon
-// drift), which breaks pop-and-revalidate heaps.  Sizes are small (a 10 TB
-// cache holds a few thousand programs), so O(log n) updates are cheap.
+// A flat hash table (program -> score) plus a lazy min-heap of
+// (score, program) entries.  Strategy scores can *decrease* (LFU history
+// expiry, oracle horizon drift), which breaks a plain pop-and-revalidate
+// heap — unless every score change pushes a fresh entry, which is what
+// update() does.  With that discipline the entry carrying the current
+// (score, program) minimum is always somewhere in the heap; min() pops
+// entries whose score no longer matches the table until it finds a live
+// one.  The heap is bounded: when stale entries accumulate past
+// ~2x the table size it is rebuilt from the table (one entry per program),
+// which preserves the multiset of live entries and therefore every
+// subsequent min() answer.  min() stays O(log n) amortized and the hot
+// update path is allocation-free once the containers reach their
+// high-water marks.
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <set>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/flat_map.hpp"
 #include "util/ids.hpp"
 
 namespace vodcache::cache {
@@ -32,14 +40,23 @@ class CachedSet {
   [[nodiscard]] std::size_t size() const { return by_program_.size(); }
   [[nodiscard]] bool empty() const { return by_program_.empty(); }
 
-  // Program with the smallest score (evict-first candidate).
+  // Program with the smallest (score, program) — the evict-first candidate.
   [[nodiscard]] std::optional<ProgramId> min() const;
 
   [[nodiscard]] std::vector<ProgramId> programs() const;
 
  private:
-  std::unordered_map<ProgramId, Score> by_program_;
-  std::set<std::pair<Score, ProgramId>> by_score_;
+  // Min-heap entry; ties in score break toward the smaller program id,
+  // matching the ordered-set index this replaced.
+  using HeapEntry = std::pair<Score, std::uint32_t>;
+
+  void push_entry(Score score, std::uint32_t program);
+
+  util::FlatMap64<Score> by_program_;
+  // Lazily pruned: entries are validated against by_program_ on pop.
+  // mutable because min() discards stale entries without changing the
+  // observable state.
+  mutable std::vector<HeapEntry> heap_;
 };
 
 }  // namespace vodcache::cache

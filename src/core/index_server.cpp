@@ -168,7 +168,9 @@ ServeResult IndexServer::serve_segment(PeerId viewer, cache::SegmentKey key,
   // it is sent from a peer or the index server").
   coax_meter_.add(interval, rate);
 
-  const auto& replicas = store_.locate(key);
+  // Span into the replica arena — read fully before try_fill() below can
+  // mutate the store.
+  const auto replicas = store_.locate(key);
   for (const PeerId replica : replicas) {
     auto& slots = peers_[replica.value()].slots();
     if (slots.try_acquire(interval)) {

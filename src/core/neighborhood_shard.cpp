@@ -54,101 +54,181 @@ void NeighborhoodShard::advance_clock_to_boundary(sim::SimTime t) {
   clock_.position = record_scan_;
 }
 
-void NeighborhoodShard::start_session(const StreamSession& stream_session) {
-  const auto& record = stream_session.record;
-
-  ActiveSession session;
-  session.viewer = stream_session.viewer;
-  session.program = record.program;
-  session.start = record.start;
-  session.end = record.start + record.duration;
-  session.admit = server_.start_session(
-      record.program,
-      catalog_.program_size(record.program, config_.stream_rate),
-      record.start);
-
-  server_.occupy_viewer_slot(session.viewer, {session.start, session.end});
-
+std::uint32_t NeighborhoodShard::assign_slot(const StreamSession& session) {
   std::uint32_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
     free_slots_.pop_back();
-    slots_[slot] = session;
   } else {
-    slot = static_cast<std::uint32_t>(slots_.size());
-    slots_.push_back(session);
+    slot = static_cast<std::uint32_t>(slot_start_ms_.size());
+    slot_start_ms_.push_back(0);
+    slot_end_ms_.push_back(0);
+    slot_next_ms_.push_back(0);
+    slot_index_.push_back(0);
+    slot_program_.push_back(0);
+    slot_viewer_.push_back(0);
+    slot_admit_.push_back(0);
   }
+  const auto& record = session.record;
+  const std::int64_t start_ms = record.start.millis_count();
+  slot_start_ms_[slot] = start_ms;
+  slot_end_ms_[slot] = (record.start + record.duration).millis_count();
+  // First boundary; admission happens when the start event runs.
+  slot_next_ms_[slot] = start_ms + config_.segment_duration.millis_count();
+  slot_index_[slot] = session.index;
+  slot_program_[slot] = record.program.value();
+  slot_viewer_[slot] = session.viewer.value();
+  slot_admit_[slot] = 0;
+  return slot;
+}
+
+void NeighborhoodShard::generate_boundaries(std::uint32_t slot,
+                                            std::int64_t bound_ms) {
+  const std::int64_t end_ms = slot_end_ms_[slot];
+  const std::int64_t segment_ms = config_.segment_duration.millis_count();
+  std::int64_t next = slot_next_ms_[slot];
+  while (next < end_ms && next <= bound_ms) {
+    scratch_.push_back({next, slot_index_[slot], slot});
+    next += segment_ms;
+  }
+  slot_next_ms_[slot] = next;
+}
+
+void NeighborhoodShard::start_session(const StreamSession& stream_session,
+                                      std::uint32_t slot) {
+  const auto& record = stream_session.record;
+  const bool admit = server_.start_session(
+      record.program,
+      catalog_.program_size(record.program, config_.stream_rate),
+      record.start);
+  slot_admit_[slot] = admit ? 1 : 0;
+
+  server_.occupy_viewer_slot(
+      stream_session.viewer,
+      {record.start, sim::SimTime::millis(slot_end_ms_[slot])});
+
   play_segment(slot, record.start);
 }
 
 void NeighborhoodShard::play_segment(std::uint32_t slot, sim::SimTime at) {
-  const ActiveSession& session = slots_[slot];
-  VODCACHE_ASSERT(at < session.end);
+  const sim::SimTime start = sim::SimTime::millis(slot_start_ms_[slot]);
+  const sim::SimTime end = sim::SimTime::millis(slot_end_ms_[slot]);
+  const ProgramId program{slot_program_[slot]};
+  VODCACHE_ASSERT(at < end);
 
   const auto segment_ms = config_.segment_duration.millis_count();
-  const std::int64_t watched_ms = (at - session.start).millis_count();
+  const std::int64_t watched_ms = (at - start).millis_count();
   const auto segment_index = static_cast<std::uint32_t>(watched_ms / segment_ms);
 
   // The transmission runs until the next segment boundary or session end.
   const sim::SimTime boundary =
-      session.start +
+      start +
       sim::SimTime::millis((static_cast<std::int64_t>(segment_index) + 1) *
                            segment_ms);
-  const sim::SimTime tx_end = std::min(boundary, session.end);
+  const sim::SimTime tx_end = std::min(boundary, end);
 
   // Nominal slice of this segment: 300 s, except a shorter final segment.
-  const sim::SimTime program_length = catalog_.length(session.program);
-  const sim::SimTime nominal_end =
-      std::min(boundary, session.start + program_length);
+  const sim::SimTime program_length = catalog_.length(program);
+  const sim::SimTime nominal_end = std::min(boundary, start + program_length);
   const bool full_slice = tx_end >= nominal_end;
 
-  server_.serve_segment(session.viewer,
-                        cache::SegmentKey{session.program, segment_index},
-                        {at, tx_end}, session.admit, full_slice);
+  server_.serve_segment(PeerId{slot_viewer_[slot]},
+                        cache::SegmentKey{program, segment_index},
+                        {at, tx_end}, slot_admit_[slot] != 0, full_slice);
 
-  if (tx_end < session.end) {
-    boundaries_.push(tx_end, slot);
-  } else {
+  if (tx_end >= end) {
+    // Final slice: the session is over.  The slot returns to the freelist
+    // but is only handed out again by a *later* feed's assignment pass, so
+    // boundary events already generated this batch keep valid slots.
+    slot_start_ms_[slot] = kFreeSlot;
     free_slots_.push_back(slot);
   }
 }
 
 void NeighborhoodShard::feed(std::span<const StreamSession> batch) {
   VODCACHE_EXPECTS(!finished_);
+  if (batch.empty()) return;
+  const std::int64_t bound_ms = batch.back().record.start.millis_count();
 
-  // Merge this batch of (sorted) sessions with the segment-boundary queue.
-  // Boundaries go first on ties: a boundary event at time t completes a
-  // transmission in [.., t), so running it before a session that begins at
-  // t matches wall-clock causality (and keeps fills from "future"
-  // transmissions out of the picture).  Either order would be
-  // deterministic; this one is the seed's.  The rule only ever compares a
-  // boundary against the *next pending* session, so cutting the session
-  // sequence into batches cannot change the merged order — a boundary past
-  // the batch simply stays queued until the session after the cut arrives.
+  // Pre-assign slots so every boundary due within this batch — including
+  // those of sessions the batch itself starts — can be generated up front.
+  new_slots_.clear();
   for (const auto& stream_session : batch) {
+    new_slots_.push_back(assign_slot(stream_session));
+  }
+
+  // Generate every boundary with time <= the batch's last session start.
+  // The seed's heap processed exactly this set within the equivalent feed:
+  // any such boundary's predecessor chain also lies <= the bound, so no
+  // boundary in range can be left pending by the heap either.
+  scratch_.clear();
+  const auto slot_count = static_cast<std::uint32_t>(slot_start_ms_.size());
+  for (std::uint32_t slot = 0; slot < slot_count; ++slot) {
+    if (slot_start_ms_[slot] == kFreeSlot) continue;
+    generate_boundaries(slot, bound_ms);
+  }
+
+  // (time, global session index) reproduces the heap's (time, push
+  // sequence) order: simultaneous boundaries were pushed in ascending
+  // session-index order — see the header and ARCHITECTURE.md for the
+  // induction.  Keys are unique (one boundary per session per tick), so
+  // plain sort is deterministic.
+  std::sort(scratch_.begin(), scratch_.end(),
+            [](const BoundaryEvent& a, const BoundaryEvent& b) {
+              return a.time_ms != b.time_ms ? a.time_ms < b.time_ms
+                                            : a.index < b.index;
+            });
+
+  // Merge boundaries against session starts.  Boundaries go first on ties:
+  // a boundary event at time t completes a transmission in [.., t), so
+  // running it before a session that begins at t matches wall-clock
+  // causality (and keeps fills from "future" transmissions out of the
+  // picture).  Either order would be deterministic; this one is the
+  // seed's.
+  std::size_t ei = 0;
+  for (std::size_t s = 0; s < batch.size(); ++s) {
+    const auto& stream_session = batch[s];
     const auto start = stream_session.record.start;
-    while (!boundaries_.empty() && boundaries_.top().time <= start) {
-      const auto event = boundaries_.pop();
-      advance_clock_to_boundary(event.time);
-      apply_failures(event.time);
-      play_segment(event.payload, event.time);
+    const std::int64_t start_ms = start.millis_count();
+    while (ei < scratch_.size() && scratch_[ei].time_ms <= start_ms) {
+      const BoundaryEvent& event = scratch_[ei++];
+      const auto t = sim::SimTime::millis(event.time_ms);
+      advance_clock_to_boundary(t);
+      apply_failures(t);
+      play_segment(event.slot, t);
     }
     clock_.now = start;
     clock_.position = static_cast<std::size_t>(stream_session.index);
     apply_failures(start);
-    start_session(stream_session);
+    start_session(stream_session, new_slots_[s]);
   }
+  // Every generated boundary lies at or before the last session start, so
+  // the merge must have consumed the whole scratch buffer.
+  VODCACHE_ASSERT(ei == scratch_.size());
 }
 
 void NeighborhoodShard::finish() {
   VODCACHE_EXPECTS(!finished_);
   finished_ = true;
 
-  while (!boundaries_.empty()) {
-    const auto event = boundaries_.pop();
-    advance_clock_to_boundary(event.time);
-    apply_failures(event.time);
-    play_segment(event.payload, event.time);
+  // Play out everything still active: generate the remaining boundaries of
+  // every live slot, unbounded.
+  scratch_.clear();
+  const auto slot_count = static_cast<std::uint32_t>(slot_start_ms_.size());
+  for (std::uint32_t slot = 0; slot < slot_count; ++slot) {
+    if (slot_start_ms_[slot] == kFreeSlot) continue;
+    generate_boundaries(slot, std::numeric_limits<std::int64_t>::max());
+  }
+  std::sort(scratch_.begin(), scratch_.end(),
+            [](const BoundaryEvent& a, const BoundaryEvent& b) {
+              return a.time_ms != b.time_ms ? a.time_ms < b.time_ms
+                                            : a.index < b.index;
+            });
+  for (const BoundaryEvent& event : scratch_) {
+    const auto t = sim::SimTime::millis(event.time_ms);
+    advance_clock_to_boundary(t);
+    apply_failures(t);
+    play_segment(event.slot, t);
   }
   // The serial engine applies a failure wave at the first event anywhere in
   // the system at or after its time — including waves after this

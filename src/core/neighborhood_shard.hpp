@@ -1,5 +1,5 @@
 // NeighborhoodShard: one neighborhood's complete simulation stack — index
-// server, cache, session slots, segment-boundary queue, and a private
+// server, cache, session slots, segment-boundary scheduling, and a private
 // slice of the central media server — consuming its neighborhood's session
 // stream incrementally.
 //
@@ -10,9 +10,25 @@
 // sequence.  Sessions arrive through feed() in batches (the orchestrator's
 // streaming demux hands each shard its slice of one time chunk at a time);
 // how the subsequence is split into batches is invisible to the event
-// order, because the shard merges sessions against its boundary queue with
-// the same tie rule regardless of where a batch ends, and boundaries past
-// the last-fed session simply wait for the next batch (or finish()).
+// order, because a boundary past the last-fed session simply waits for the
+// next batch (or finish()).
+//
+// Boundary events are *batched*, not queued.  A session's boundary times
+// are fully determined at its start — start + k*segment for k >= 1 while
+// that lies before the session end — so instead of a binary heap pushed
+// and popped once per event, feed() generates every boundary due within
+// the batch into a scratch buffer, sorts it once by (time, global session
+// index), and merges it against the session starts.  This is byte-
+// identical to the heap order the seed used (see ARCHITECTURE.md, "Why
+// sorting by global index reproduces the heap"): among simultaneous
+// boundaries the heap's (time, push-sequence) order provably equals
+// ascending global session index, and the boundaries-first tie rule
+// against session starts is applied by the same comparison either way.
+//
+// Session slots are parallel arrays (structure-of-arrays): the boundary
+// generator scans only the session clocks — three int64 lanes — without
+// dragging the rest of each session through the cache, and a freed slot is
+// recycled through a freelist, so the steady-state loop allocates nothing.
 //
 // The two cross-shard couplings are decoupled up front:
 //
@@ -28,6 +44,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <span>
 #include <vector>
@@ -37,7 +54,6 @@
 #include "core/config.hpp"
 #include "core/index_server.hpp"
 #include "core/media_server.hpp"
-#include "sim/event_queue.hpp"
 #include "sim/replay_clock.hpp"
 #include "trace/catalog.hpp"
 #include "trace/trace.hpp"
@@ -89,12 +105,12 @@ class NeighborhoodShard {
 
   // Replays one batch of this shard's sessions (trace order, starts no
   // earlier than anything previously fed).  The batch is fully consumed;
-  // segment boundaries falling after its last session stay queued for the
+  // segment boundaries falling after its last session stay pending for the
   // next feed() or finish().
   void feed(std::span<const StreamSession> batch);
 
-  // Drains the boundary queue and applies trailing failure waves.  Must be
-  // called exactly once, after the last feed().
+  // Plays out every still-active session and applies trailing failure
+  // waves.  Must be called exactly once, after the last feed().
   void finish();
 
   [[nodiscard]] NeighborhoodId id() const { return server_.id(); }
@@ -102,16 +118,25 @@ class NeighborhoodShard {
   [[nodiscard]] const MediaServer& media_server() const { return media_; }
 
  private:
-  struct ActiveSession {
-    PeerId viewer;
-    ProgramId program;
-    sim::SimTime start;
-    sim::SimTime end;
-    bool admit = false;
+  // A segment boundary due within the current batch.  Sorted by
+  // (time_ms, index); `index` is the owning session's global trace index,
+  // which reproduces the seed's heap tie order exactly.
+  struct BoundaryEvent {
+    std::int64_t time_ms = 0;
+    std::uint64_t index = 0;
+    std::uint32_t slot = 0;
   };
 
-  void start_session(const StreamSession& session);
-  // Plays the segment beginning at `at`; schedules the next boundary.
+  // Claims a slot (freelist first) and writes the session into the SoA
+  // lanes; does not touch the index server.
+  [[nodiscard]] std::uint32_t assign_slot(const StreamSession& session);
+  // Admits the session with the index server and plays its first segment.
+  void start_session(const StreamSession& session, std::uint32_t slot);
+  // Appends every not-yet-generated boundary of `slot` with time <=
+  // `bound_ms` to scratch_.
+  void generate_boundaries(std::uint32_t slot, std::int64_t bound_ms);
+  // Plays the segment beginning at `at`; frees the slot after the final
+  // slice.  Boundary scheduling is the generator's job, not this one's.
   void play_segment(std::uint32_t slot, sim::SimTime at);
   // Applies pre-rolled peer failures whose time has come (<= now).
   void apply_failures(sim::SimTime now);
@@ -135,10 +160,24 @@ class NeighborhoodShard {
   MediaServer media_;
   IndexServer server_;
 
-  // Session slot pool.
-  std::vector<ActiveSession> slots_;
+  // Session slots, structure-of-arrays.  A free slot holds kFreeSlot in
+  // its start lane; live slots keep the next boundary still to generate in
+  // slot_next_ms_ (a value at or past the end lane means the session's
+  // remaining events are all generated already).
+  static constexpr std::int64_t kFreeSlot =
+      std::numeric_limits<std::int64_t>::min();
+  std::vector<std::int64_t> slot_start_ms_;
+  std::vector<std::int64_t> slot_end_ms_;
+  std::vector<std::int64_t> slot_next_ms_;
+  std::vector<std::uint64_t> slot_index_;
+  std::vector<std::uint32_t> slot_program_;
+  std::vector<std::uint32_t> slot_viewer_;
+  std::vector<std::uint8_t> slot_admit_;
   std::vector<std::uint32_t> free_slots_;
-  sim::EventQueue<std::uint32_t> boundaries_;
+
+  // Per-feed scratch (high-water capacity, reused every batch).
+  std::vector<BoundaryEvent> scratch_;
+  std::vector<std::uint32_t> new_slots_;
 
   std::vector<PendingFailure> failures_;
   std::size_t next_failure_ = 0;

@@ -33,16 +33,18 @@ void TierPlanBuilder::flush_window() {
   for (std::size_t l = 0; l < counts_.size(); ++l) {
     for (std::size_t node = 0; node < counts_[l].size(); ++node) {
       auto& demand = counts_[l][node];
+      // Aggregate the append log: sort by id, then run-length encode —
+      // the same (id-sorted program, count) rows the old per-window hash
+      // map flushed.
+      std::sort(demand.begin(), demand.end());
       std::vector<WindowCount> window;
-      window.reserve(demand.size());
-      for (const auto& [program, count] : demand) {
-        window.push_back({ProgramId{program}, count});
+      for (std::size_t i = 0; i < demand.size();) {
+        std::size_t j = i + 1;
+        while (j < demand.size() && demand[j] == demand[i]) ++j;
+        window.push_back({ProgramId{demand[i]},
+                          static_cast<std::uint64_t>(j - i)});
+        i = j;
       }
-      // Hash-map iteration order is not deterministic; id order is.
-      std::sort(window.begin(), window.end(),
-                [](const WindowCount& a, const WindowCount& b) {
-                  return a.program.value() < b.program.value();
-                });
       windows_[l][node].push_back(std::move(window));
       demand.clear();
     }
@@ -57,7 +59,7 @@ void TierPlanBuilder::observe(NeighborhoodId neighborhood, ProgramId program,
   while (current_window_ < window) flush_window();
   for (std::size_t l = 0; l < counts_.size(); ++l) {
     const auto node = topology_.tier_node_of(l, neighborhood);
-    ++counts_[l][node][program.value()];
+    counts_[l][node].push_back(program.value());
   }
 }
 

@@ -28,7 +28,6 @@
 #include <memory>
 #include <optional>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "core/config.hpp"
@@ -118,9 +117,13 @@ class TierPlanBuilder {
   std::unique_ptr<PrefetchPolicy> policy_;
   std::int64_t refresh_ms_;
   std::int64_t current_window_ = 0;
-  // counts_[level][node]: demand accumulating in the current window.
-  std::vector<std::vector<std::unordered_map<std::uint32_t, std::uint64_t>>>
-      counts_;
+  // counts_[level][node]: program ids observed in the current window, one
+  // entry per observation, in stream order.  A flat append log beats a
+  // hash map here: the prepass touches it once per session per level, and
+  // flush_window() recovers the per-program counts with a sort plus
+  // run-length pass (same sorted output the map produced).  Cleared — not
+  // shrunk — every window, so steady state appends into capacity.
+  std::vector<std::vector<std::vector<std::uint32_t>>> counts_;
   // windows_[level][node][window]: flushed observations, sorted by id.
   std::vector<std::vector<std::vector<std::vector<WindowCount>>>> windows_;
 };

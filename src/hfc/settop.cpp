@@ -6,7 +6,11 @@ namespace vodcache::hfc {
 
 StreamSlots::StreamSlots(int limit) : limit_(limit) {
   VODCACHE_EXPECTS(limit >= 0);
-  active_ends_.reserve(static_cast<std::size_t>(limit) + 2);
+  // Serving is capped at `limit`, but viewer playback goes through
+  // acquire_unchecked and can stack one user's overlapping sessions past
+  // it.  Reserve generous slack so a box's first concurrency peak — which
+  // can land arbitrarily late in a run — does not reallocate mid-replay.
+  active_ends_.reserve(static_cast<std::size_t>(limit) + 8);
 }
 
 void StreamSlots::prune(sim::SimTime now) {

@@ -1,0 +1,118 @@
+// Counting allocation probe for the zero-allocation steady-state audit.
+//
+// VODCACHE_DEFINE_ALLOC_PROBE() expands to replacement definitions of the
+// global allocation functions that bump a process-wide counter before
+// delegating to malloc/free.  Define it in exactly ONE translation unit of
+// a test binary (replacing ::operator new is a program-wide, ODR-unique
+// act); every other file can include this header and read the counter.
+//
+// The probe counts *allocations* (operator new family), not frees — the
+// audit asserts "no heap traffic per event after warmup", and a steady
+// state that frees without allocating does not exist for the audited
+// containers (they never shrink).
+//
+// This is test-only instrumentation: production binaries never see these
+// symbols, so the hot path carries no counting overhead outside the audit.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace vodcache::test {
+
+extern std::atomic<std::uint64_t> g_alloc_count;
+
+inline std::uint64_t alloc_count() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace vodcache::test
+
+// NOLINTBEGIN — replacement allocation functions must use malloc/free.
+// -Wmismatched-new-delete is suppressed: with the replacements visible in
+// this TU, GCC inlines them and flags the (correct) malloc/free delegation
+// as a new/free mismatch.
+#define VODCACHE_DEFINE_ALLOC_PROBE()                                         \
+  _Pragma("GCC diagnostic push")                                              \
+  _Pragma("GCC diagnostic ignored \"-Wmismatched-new-delete\"")               \
+  namespace vodcache::test {                                                  \
+  std::atomic<std::uint64_t> g_alloc_count{0};                                \
+  namespace {                                                                 \
+  void* probe_alloc(std::size_t size) {                                       \
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);                    \
+    return std::malloc(size == 0 ? 1 : size);                                 \
+  }                                                                           \
+  void* probe_alloc_aligned(std::size_t size, std::size_t align) {            \
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);                    \
+    void* p = nullptr;                                                        \
+    if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,     \
+                       size == 0 ? 1 : size) != 0) {                          \
+      return nullptr;                                                         \
+    }                                                                         \
+    return p;                                                                 \
+  }                                                                           \
+  }                                                                           \
+  }                                                                           \
+  void* operator new(std::size_t size) {                                      \
+    void* p = vodcache::test::probe_alloc(size);                              \
+    if (p == nullptr) throw std::bad_alloc{};                                 \
+    return p;                                                                 \
+  }                                                                           \
+  void* operator new[](std::size_t size) {                                    \
+    void* p = vodcache::test::probe_alloc(size);                              \
+    if (p == nullptr) throw std::bad_alloc{};                                 \
+    return p;                                                                 \
+  }                                                                           \
+  void* operator new(std::size_t size, std::align_val_t align) {              \
+    void* p = vodcache::test::probe_alloc_aligned(                            \
+        size, static_cast<std::size_t>(align));                               \
+    if (p == nullptr) throw std::bad_alloc{};                                 \
+    return p;                                                                 \
+  }                                                                           \
+  void* operator new[](std::size_t size, std::align_val_t align) {            \
+    void* p = vodcache::test::probe_alloc_aligned(                            \
+        size, static_cast<std::size_t>(align));                               \
+    if (p == nullptr) throw std::bad_alloc{};                                 \
+    return p;                                                                 \
+  }                                                                           \
+  void* operator new(std::size_t size, const std::nothrow_t&) noexcept {      \
+    return vodcache::test::probe_alloc(size);                                 \
+  }                                                                           \
+  void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {    \
+    return vodcache::test::probe_alloc(size);                                 \
+  }                                                                           \
+  void* operator new(std::size_t size, std::align_val_t align,                \
+                     const std::nothrow_t&) noexcept {                        \
+    return vodcache::test::probe_alloc_aligned(                               \
+        size, static_cast<std::size_t>(align));                               \
+  }                                                                           \
+  void* operator new[](std::size_t size, std::align_val_t align,              \
+                       const std::nothrow_t&) noexcept {                      \
+    return vodcache::test::probe_alloc_aligned(                               \
+        size, static_cast<std::size_t>(align));                               \
+  }                                                                           \
+  void operator delete(void* p) noexcept { std::free(p); }                    \
+  void operator delete[](void* p) noexcept { std::free(p); }                  \
+  void operator delete(void* p, std::size_t) noexcept { std::free(p); }       \
+  void operator delete[](void* p, std::size_t) noexcept { std::free(p); }     \
+  void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }  \
+  void operator delete[](void* p, std::align_val_t) noexcept {                \
+    std::free(p);                                                             \
+  }                                                                           \
+  void operator delete(void* p, std::size_t, std::align_val_t) noexcept {     \
+    std::free(p);                                                             \
+  }                                                                           \
+  void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {   \
+    std::free(p);                                                             \
+  }                                                                           \
+  void operator delete(void* p, const std::nothrow_t&) noexcept {             \
+    std::free(p);                                                             \
+  }                                                                           \
+  void operator delete[](void* p, const std::nothrow_t&) noexcept {           \
+    std::free(p);                                                             \
+  }                                                                           \
+  _Pragma("GCC diagnostic pop")                                               \
+  static_assert(true, "require trailing semicolon")
+// NOLINTEND

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Throughput ratchet: fail CI when the engine gets meaningfully slower.
+
+Compares a freshly measured BENCH_scaling.json against the committed
+baseline (baselines/BENCH_scaling.json) and exits nonzero when the
+single-thread sessions_per_sec regresses by more than the tolerance band.
+Like the coverage ratchet, the baseline only moves forward: re-record it
+(run `VODCACHE_SCALING_ONLY=1 bench_fig15_table16_scaling` and commit the
+output) when a PR makes the engine faster, never to make a regression pass.
+
+The single-thread row is the ratchet because it measures the hot path
+itself; multi-thread rows fold in scheduler and core-count noise, so they
+are printed for context but only warn.  The band is deliberately wide
+(default 10%) to absorb runner-to-runner variance; an architectural
+regression (a hash map back in the segment path, per-event heap churn)
+costs far more than that.
+
+Usage: check_throughput.py <measured.json> <baseline.json> [tolerance]
+  tolerance: allowed fractional regression, default 0.10; also settable
+  via VODCACHE_RATCHET_TOLERANCE.
+
+Stdlib only — this must run on a bare CI runner.
+"""
+
+import json
+import os
+import sys
+
+
+def load_runs(path):
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    runs = {run["threads"]: run for run in data.get("runs", [])}
+    if not runs:
+        sys.exit(f"FAIL: {path} has no runs[]")
+    for threads, run in runs.items():
+        if "sessions_per_sec" not in run:
+            sys.exit(f"FAIL: {path} run threads={threads} lacks sessions_per_sec")
+    return data, runs
+
+
+def main(argv):
+    if len(argv) < 3:
+        sys.exit(__doc__)
+    measured_path, baseline_path = argv[1], argv[2]
+    tolerance = float(
+        argv[3]
+        if len(argv) > 3
+        else os.environ.get("VODCACHE_RATCHET_TOLERANCE", "0.10")
+    )
+
+    measured_data, measured = load_runs(measured_path)
+    baseline_data, baseline = load_runs(baseline_path)
+
+    # The two files must describe the same workload, or the ratio is
+    # meaningless.
+    for key in ("days", "users"):
+        if measured_data.get(key) != baseline_data.get(key):
+            sys.exit(
+                f"FAIL: workload mismatch: measured {key}="
+                f"{measured_data.get(key)} vs baseline {baseline_data.get(key)}"
+            )
+
+    failed = False
+    for threads in sorted(baseline.keys()):
+        if threads not in measured:
+            print(f"WARN: measured file lacks threads={threads} row")
+            continue
+        base = baseline[threads]["sessions_per_sec"]
+        new = measured[threads]["sessions_per_sec"]
+        ratio = new / base if base > 0 else float("inf")
+        verdict = "ok"
+        if ratio < 1.0 - tolerance:
+            if threads == 1:
+                verdict = "FAIL"
+                failed = True
+            else:
+                verdict = "warn (multi-thread, not ratcheted)"
+        print(
+            f"threads={threads}: {new:,.0f} vs baseline {base:,.0f} "
+            f"sessions/s ({ratio:.2%}) {verdict}"
+        )
+
+    if failed:
+        print(
+            f"FAIL: single-thread throughput regressed more than "
+            f"{tolerance:.0%} against {baseline_path}"
+        )
+        return 1
+    print("throughput ratchet holds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
