@@ -64,13 +64,15 @@ int run_thread_scaling(const trace::SessionSource& source,
     double wall_ms;
     double sessions_per_sec;
     long peak_rss_kb;
+    std::uint64_t steal_count;
+    double worker_utilization;
   };
   std::vector<Sample> samples;
   std::string reference_json;
   bool identical = true;
 
   analysis::Table table({"threads", "wall s", "speedup", "sessions/s",
-                         "peak RSS MB", "identical"});
+                         "steals", "util", "peak RSS MB", "identical"});
   for (const int threads : {1, 2, 4, 8}) {
     auto config = base;
     config.threads = static_cast<std::uint32_t>(threads);
@@ -80,6 +82,9 @@ int run_thread_scaling(const trace::SessionSource& source,
     const auto end = std::chrono::steady_clock::now();
     const double wall_ms =
         std::chrono::duration<double, std::milli>(end - begin).count();
+    // Scheduling observability: zeros on the serial path (threads=1 never
+    // builds a job graph), live counters on the executor path.
+    const auto& exec = system.executor_stats();
 
     const auto json = core::to_json(report, /*include_neighborhoods=*/true);
     if (reference_json.empty()) {
@@ -89,11 +94,14 @@ int run_thread_scaling(const trace::SessionSource& source,
     }
     samples.push_back({threads, wall_ms,
                        bench::sessions_per_sec(report.sessions, wall_ms),
-                       bench::peak_rss_kb()});
+                       bench::peak_rss_kb(), exec.steals,
+                       exec.utilization()});
     table.add_row({std::to_string(threads),
                    analysis::Table::num(wall_ms / 1000.0, 2),
                    analysis::Table::num(samples.front().wall_ms / wall_ms, 2),
                    analysis::Table::num(samples.back().sessions_per_sec, 0),
+                   std::to_string(samples.back().steal_count),
+                   analysis::Table::num(samples.back().worker_utilization, 2),
                    analysis::Table::num(
                        static_cast<double>(samples.back().peak_rss_kb) /
                            1024.0, 0),
@@ -118,6 +126,8 @@ int run_thread_scaling(const trace::SessionSource& source,
         << ",\"wall_ms\":" << samples[i].wall_ms << ",\"speedup\":"
         << samples.front().wall_ms / samples[i].wall_ms
         << ",\"sessions_per_sec\":" << samples[i].sessions_per_sec
+        << ",\"steal_count\":" << samples[i].steal_count
+        << ",\"worker_utilization\":" << samples[i].worker_utilization
         << ",\"peak_rss_kb\":" << samples[i].peak_rss_kb << '}';
   }
   out << "]}\n";

@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
@@ -29,13 +30,16 @@ namespace vodcache::bench {
 
 // A malformed override is a broken run, not a default one: fail loudly so
 // a typo'd VODCACHE_DAYS=3O never silently benchmarks the default workload.
-inline int env_int(const char* name, int fallback) {
+// `zero_ok` admits 0 as a legitimate value (VODCACHE_THREADS=0 means "use
+// hardware concurrency"); negatives and garbage always abort.
+inline int env_int(const char* name, int fallback, bool zero_ok = false) {
   const char* value = std::getenv(name);
   if (value == nullptr) return fallback;
   const auto parsed = util::parse_strict<int>(value);
-  if (!parsed || *parsed <= 0) {
-    std::cerr << "bench: " << name << " must be a positive integer, got '"
-              << value << "'\n";
+  if (!parsed || *parsed < 0 || (*parsed == 0 && !zero_ok)) {
+    std::cerr << "bench: " << name << " must be a positive integer"
+              << (zero_ok ? " (or 0 for hardware concurrency)" : "")
+              << ", got '" << value << "'\n";
     std::exit(2);
   }
   return *parsed;
@@ -46,7 +50,10 @@ inline int workload_days(int fallback) {
 }
 
 inline int workload_threads(int fallback = 1) {
-  return env_int("VODCACHE_THREADS", fallback);
+  const int threads = env_int("VODCACHE_THREADS", fallback, /*zero_ok=*/true);
+  if (threads > 0) return threads;
+  const auto hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<int>(hardware);
 }
 
 // The full-scale PowerInfo-like workload (41,698 users, 8,278 programs).

@@ -56,7 +56,7 @@ bool GlobalLfuStrategy::snapshot_turned(sim::SimTime t) {
     board_->advance(t);
     epoch = board_->snapshot_epoch();
   } else {
-    cursor_->advance(t, clock_->position);
+    cursor_->advance(t, clock_->position, clock_->visible);
     epoch = cursor_->snapshot_epoch();
   }
   if (epoch == seen_epoch_) return false;
@@ -70,7 +70,9 @@ void GlobalLfuStrategy::refresh(sim::SimTime t) {
     // shard's events are applied (and dirty-marked) before re-ranking; the
     // live board is advanced by every record from every neighborhood, so
     // its subscribers are already up to date.
-    if (cursor_ != nullptr) cursor_->advance(t, clock_->position);
+    if (cursor_ != nullptr) {
+      cursor_->advance(t, clock_->position, clock_->visible);
+    }
     rerank_dirty(board_ != nullptr ? std::max(t, dirty_time_) : t);
     return;
   }
@@ -89,7 +91,7 @@ void GlobalLfuStrategy::record_access(ProgramId program, sim::SimTime t) {
   if (board_ != nullptr) {
     board_->record(program, t);
   } else {
-    cursor_->ingest_local(program, t);
+    cursor_->ingest_local(program, t, clock_->visible);
   }
   if (lag() > sim::SimTime{}) ++local_since_snapshot_[program];
   cached().update(program, score(program, t));
@@ -98,7 +100,7 @@ void GlobalLfuStrategy::record_access(ProgramId program, sim::SimTime t) {
 std::int64_t GlobalLfuStrategy::global_count(ProgramId program,
                                              sim::SimTime t) {
   if (board_ != nullptr) return board_->visible_count(program, t);
-  cursor_->advance(t, clock_->position);
+  cursor_->advance(t, clock_->position, clock_->visible);
   return cursor_->visible_count(program);
 }
 

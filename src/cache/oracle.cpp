@@ -9,7 +9,9 @@ OracleStrategy::OracleStrategy(const FutureIndex& future, sim::SimTime lookahead
     : future_(future),
       lookahead_(lookahead),
       refresh_interval_(refresh_interval) {
-  VODCACHE_EXPECTS(future.frozen());
+  // `future` need not be frozen yet: under the job-graph executor the
+  // prepass fills it after the strategy is built, and the graph gates any
+  // query behind the full pass.  count_in() still asserts frozen at use.
   VODCACHE_EXPECTS(lookahead > sim::SimTime{});
   VODCACHE_EXPECTS(refresh_interval > sim::SimTime{});
 }

@@ -93,7 +93,6 @@ ReplayCursor::ReplayCursor(const ReplayBoard& board, ChangeCallback on_change)
     : board_(&board),
       on_change_(std::move(on_change)),
       live_(board.program_count(), 0) {
-  VODCACHE_EXPECTS(board.frozen());
   if (board.lag() > sim::SimTime{}) {
     snapshot_.assign(board.program_count(), 0);
     next_batch_ = board.lag();
@@ -105,9 +104,8 @@ void ReplayCursor::notify(ProgramId program) {
 }
 
 void ReplayCursor::ingest_to(std::size_t upto) {
-  const auto& accesses = board_->accesses();
   while (ingest_ < upto) {
-    const ProgramId program = accesses[ingest_].program;
+    const ProgramId program = board_->access(ingest_).program;
     ++live_[program.value()];
     ++ingest_;
     notify(program);
@@ -115,11 +113,10 @@ void ReplayCursor::ingest_to(std::size_t upto) {
 }
 
 void ReplayCursor::expire_to(sim::SimTime cutoff) {
-  const auto& accesses = board_->accesses();
   // Only visible (ingested) accesses can expire, exactly like the live
   // board's event deque.
-  while (expire_ < ingest_ && accesses[expire_].time < cutoff) {
-    const ProgramId program = accesses[expire_].program;
+  while (expire_ < ingest_ && board_->access(expire_).time < cutoff) {
+    const ProgramId program = board_->access(expire_).program;
     VODCACHE_ASSERT(live_[program.value()] > 0);
     --live_[program.value()];
     ++expire_;
@@ -127,7 +124,7 @@ void ReplayCursor::expire_to(sim::SimTime cutoff) {
   }
 }
 
-void ReplayCursor::publish_snapshots(sim::SimTime t) {
+void ReplayCursor::publish_snapshots(sim::SimTime t, std::size_t bound) {
   if (board_->lag() == sim::SimTime{} || t < next_batch_) return;
   sim::SimTime boundary = next_batch_;
   while (boundary + board_->lag() <= t) boundary += board_->lag();
@@ -135,10 +132,11 @@ void ReplayCursor::publish_snapshots(sim::SimTime t) {
   // session start before the boundary was recorded before the first query
   // at or past it, and one exactly at the boundary is recorded just after
   // the live board would have published.  A pure function of the trace.
-  const auto& accesses = board_->accesses();
+  // `bound` cannot cut this scan short: boundary <= t, and every entry at
+  // or past a chunk watermark has time >= the chunk end > t.
   std::size_t before_boundary = ingest_;
-  while (before_boundary < accesses.size() &&
-         accesses[before_boundary].time < boundary) {
+  while (before_boundary < bound &&
+         board_->access(before_boundary).time < boundary) {
     ++before_boundary;
   }
   ingest_to(before_boundary);
@@ -148,20 +146,25 @@ void ReplayCursor::publish_snapshots(sim::SimTime t) {
   ++epoch_;
 }
 
-void ReplayCursor::advance(sim::SimTime t, std::size_t upto) {
-  publish_snapshots(t);
-  ingest_to(std::min(upto, board_->accesses().size()));
+void ReplayCursor::advance(sim::SimTime t, std::size_t upto,
+                           std::size_t limit) {
+  const std::size_t bound =
+      limit == ReplayBoard::kNoLimit ? board_->size() : limit;
+  publish_snapshots(t, bound);
+  ingest_to(std::min(upto, bound));
   expire_to(t - board_->window());
 }
 
-void ReplayCursor::ingest_local(ProgramId program, sim::SimTime t) {
-  const auto& accesses = board_->accesses();
-  VODCACHE_EXPECTS(ingest_ < accesses.size());
+void ReplayCursor::ingest_local(ProgramId program, sim::SimTime t,
+                                std::size_t limit) {
+  const std::size_t bound =
+      limit == ReplayBoard::kNoLimit ? board_->size() : limit;
+  VODCACHE_EXPECTS(ingest_ < bound);
   // The caller's own session start must be the next access on the shared
   // timeline — the strongest cheap check that shard replay and prebuild
   // agree on the serial order.
-  VODCACHE_ASSERT(accesses[ingest_].program == program);
-  VODCACHE_ASSERT(accesses[ingest_].time == t);
+  VODCACHE_ASSERT(board_->access(ingest_).program == program);
+  VODCACHE_ASSERT(board_->access(ingest_).time == t);
   ingest_to(ingest_ + 1);
 }
 

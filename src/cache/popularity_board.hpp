@@ -33,10 +33,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "sim/time.hpp"
 #include "util/ids.hpp"
+#include "util/stable_vector.hpp"
 
 namespace vodcache::cache {
 
@@ -86,15 +88,25 @@ class PopularityBoard {
   std::vector<std::function<void(ProgramId, sim::SimTime)>> subscribers_;
 };
 
-// The immutable, trace-prebuilt access timeline.  Built once (serially)
-// from every session start in the trace, frozen, then shared read-only by
-// all shards.
+// The trace-prebuilt access timeline.  In the serial engine it is built in
+// full, frozen, then shared read-only by all shards.  Under the job-graph
+// executor it is instead appended *chunk by chunk* by the prepass chain
+// while earlier entries are already being read by feed jobs on other
+// workers — which is why the storage is a StableVector (appends never move
+// existing elements) and why every scanning API takes an explicit `limit`:
+// a reader may only look at entries [0, limit) for a watermark `limit` it
+// learned through a graph edge (happens-before), and must never consult
+// size() while a writer is live.  kNoLimit means "no concurrent writer
+// exists; clamp to size()" — the serial path's contract.
 class ReplayBoard {
  public:
   struct Access {
     sim::SimTime time;
     ProgramId program;
   };
+
+  static constexpr std::size_t kNoLimit =
+      std::numeric_limits<std::size_t>::max();
 
   ReplayBoard(std::size_t program_count, sim::SimTime window,
               sim::SimTime lag);
@@ -103,24 +115,29 @@ class ReplayBoard {
   void add(ProgramId program, sim::SimTime t);
   void freeze();
 
-  // Sizing hint for streaming construction (one reallocation instead of
-  // log n when the session count is known up front).
+  // Sizing hint for streaming construction (pre-allocates blocks).
   void reserve(std::size_t count) { accesses_.reserve(count); }
 
   // Index of the first access with time >= t, scanning forward from `from`
-  // (which must be at or before that index).  Because the timeline is
-  // exactly the trace's session sequence, this doubles as the serial
-  // engine's replay position at a boundary event at time t — each shard
-  // advances its own monotone cursor through it.
-  [[nodiscard]] std::size_t position_at(sim::SimTime t,
-                                        std::size_t from) const {
-    while (from < accesses_.size() && accesses_[from].time < t) ++from;
+  // (which must be at or before that index), never past `limit`.  Because
+  // the timeline is exactly the trace's session sequence, this doubles as
+  // the serial engine's replay position at a boundary event at time t —
+  // each shard advances its own monotone cursor through it.  Bounding by a
+  // chunk watermark is lossless: every entry at index >= the watermark has
+  // time >= the chunk end, and boundary queries only ask about times
+  // inside the chunk.
+  [[nodiscard]] std::size_t position_at(sim::SimTime t, std::size_t from,
+                                        std::size_t limit = kNoLimit) const {
+    const std::size_t bound = limit == kNoLimit ? accesses_.size() : limit;
+    while (from < bound && accesses_[from].time < t) ++from;
     return from;
   }
 
-  [[nodiscard]] const std::vector<Access>& accesses() const {
-    return accesses_;
+  [[nodiscard]] const Access& access(std::size_t i) const {
+    return accesses_[i];
   }
+  // Owner-side only while appends are live; see the class comment.
+  [[nodiscard]] std::size_t size() const { return accesses_.size(); }
   [[nodiscard]] std::size_t program_count() const { return program_count_; }
   [[nodiscard]] sim::SimTime window() const { return window_; }
   [[nodiscard]] sim::SimTime lag() const { return lag_; }
@@ -130,7 +147,7 @@ class ReplayBoard {
   sim::SimTime window_;
   sim::SimTime lag_;
   std::size_t program_count_;
-  std::vector<Access> accesses_;
+  util::StableVector<Access> accesses_;
   bool frozen_ = false;
 };
 
@@ -141,7 +158,9 @@ class ReplayBoard {
 //     ones older than t - window — the state a live board would hold after
 //     the serial engine replayed `upto` records and the clock reached t.
 //     Both arguments are clamped monotone, so out-of-order no-op calls
-//     (same event, several queries) are safe.
+//     (same event, several queries) are safe.  Under the job-graph
+//     executor the additional `limit` bounds every board scan to the
+//     entries the caller's graph edges make visible (see ReplayBoard).
 //   * lag > 0 publishes a snapshot whenever a batch boundary is crossed;
 //     the snapshot counts accesses in [boundary - window, boundary), which
 //     depends only on the trace, never on which shard asks first.
@@ -152,14 +171,19 @@ class ReplayCursor {
  public:
   using ChangeCallback = std::function<void(ProgramId)>;
 
+  // The board need not be frozen yet: under the job-graph executor the
+  // cursor is created while the prepass chain is still appending.  Only
+  // the board's configuration (program count, window, lag) is read here.
   explicit ReplayCursor(const ReplayBoard& board,
                         ChangeCallback on_change = {});
 
-  void advance(sim::SimTime t, std::size_t upto);
+  void advance(sim::SimTime t, std::size_t upto,
+               std::size_t limit = ReplayBoard::kNoLimit);
   // Count in the caller's own session start (the access at the current
   // read position).  The caller names it so the cursor can check that the
   // shard's replay and the prebuilt timeline agree.
-  void ingest_local(ProgramId program, sim::SimTime t);
+  void ingest_local(ProgramId program, sim::SimTime t,
+                    std::size_t limit = ReplayBoard::kNoLimit);
 
   [[nodiscard]] std::int64_t visible_count(ProgramId program) const;
   // Incremented once per advance that crossed >= 1 batch boundary,
@@ -168,7 +192,7 @@ class ReplayCursor {
   [[nodiscard]] const ReplayBoard& board() const { return *board_; }
 
  private:
-  void publish_snapshots(sim::SimTime t);
+  void publish_snapshots(sim::SimTime t, std::size_t bound);
   void ingest_to(std::size_t upto);
   void expire_to(sim::SimTime cutoff);
   void notify(ProgramId program);

@@ -1,0 +1,75 @@
+#include "core/job_graph.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace vodcache::core {
+
+JobId JobGraph::add(JobFn fn, std::string name) {
+  finalized_ = false;
+  const auto id = static_cast<JobId>(fns_.size());
+  fns_.push_back(std::move(fn));
+  names_.push_back(std::move(name));
+  return id;
+}
+
+void JobGraph::depend(JobId parent, JobId child) {
+  VODCACHE_EXPECTS(parent < fns_.size());
+  VODCACHE_EXPECTS(child < fns_.size());
+  VODCACHE_EXPECTS(parent != child);
+  finalized_ = false;
+  edges_.emplace_back(parent, child);
+}
+
+void JobGraph::finalize() {
+  if (finalized_) return;
+  const auto nodes = fns_.size();
+
+  dep_count_.assign(nodes, 0);
+  child_offset_.assign(nodes + 1, 0);
+  for (const auto& [parent, child] : edges_) {
+    ++dep_count_[child];
+    ++child_offset_[parent + 1];
+  }
+  for (std::size_t n = 0; n < nodes; ++n) {
+    child_offset_[n + 1] += child_offset_[n];
+  }
+  child_list_.resize(edges_.size());
+  // Fill per-parent runs back to front so child order ends up reversed per
+  // parent — order among a node's children is irrelevant to scheduling.
+  std::vector<std::uint32_t> cursor(child_offset_.begin(),
+                                    child_offset_.end() - 1);
+  for (const auto& [parent, child] : edges_) {
+    child_list_[cursor[parent]++] = child;
+  }
+
+  // Kahn's algorithm: if a topological order does not cover every node,
+  // the leftover nodes sit on a cycle.
+  std::vector<std::uint32_t> pending(dep_count_);
+  std::vector<JobId> ready;
+  ready.reserve(nodes);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    if (pending[n] == 0) ready.push_back(static_cast<JobId>(n));
+  }
+  std::size_t ordered = 0;
+  while (ordered < ready.size()) {
+    const JobId id = ready[ordered++];
+    for (const JobId child : children(id)) {
+      if (--pending[child] == 0) ready.push_back(child);
+    }
+  }
+  if (ordered != nodes) {
+    for (std::size_t n = 0; n < nodes; ++n) {
+      if (pending[n] != 0) {
+        throw std::logic_error(
+            "JobGraph: dependency cycle through node " + std::to_string(n) +
+            (names_[n].empty() ? std::string{} : " (" + names_[n] + ")"));
+      }
+    }
+  }
+  finalized_ = true;
+}
+
+}  // namespace vodcache::core

@@ -10,21 +10,23 @@ namespace vodcache::core {
 NeighborhoodShard::NeighborhoodShard(
     NeighborhoodId id, std::uint32_t peer_count, const trace::Catalog& catalog,
     sim::SimTime horizon, const SystemConfig& config,
-    cache::FutureIndex future, std::shared_ptr<const cache::ReplayBoard> board,
-    std::vector<PendingFailure> failures, sim::SimTime failure_flush,
-    const TierSystem* tiers, std::vector<std::uint32_t> tier_nodes)
+    const cache::FutureIndex* future,
+    std::shared_ptr<const cache::ReplayBoard> board,
+    std::vector<PendingFailure> failures, const TierSystem* tiers,
+    std::vector<std::uint32_t> tier_nodes)
     : catalog_(catalog),
       config_(config),
-      future_(std::move(future)),
+      future_(future),
       board_(std::move(board)),
       media_(horizon, config.meter_bucket),
       server_(id, peer_count, config, make_scorer(), make_admission(), media_,
               horizon, tiers, std::move(tier_nodes)),
-      failures_(std::move(failures)),
-      failure_flush_(failure_flush) {}
+      failures_(std::move(failures)) {
+  VODCACHE_EXPECTS(future_ != nullptr);
+}
 
 std::unique_ptr<cache::EvictionScorer> NeighborhoodShard::make_scorer() {
-  const ScorerContext context{config_.strategy, catalog_, &future_, board_,
+  const ScorerContext context{config_.strategy, catalog_, future_, board_,
                               &clock_};
   return scorer_entry(config_.strategy.kind).make(context);
 }
@@ -50,7 +52,7 @@ void NeighborhoodShard::advance_clock_to_boundary(sim::SimTime t) {
   // Only GlobalLFU reads the position; skip the timeline scan for every
   // other strategy so per-shard work stays proportional to the shard.
   if (board_ == nullptr) return;
-  record_scan_ = board_->position_at(t, record_scan_);
+  record_scan_ = board_->position_at(t, record_scan_, clock_.visible);
   clock_.position = record_scan_;
 }
 
@@ -207,7 +209,7 @@ void NeighborhoodShard::feed(std::span<const StreamSession> batch) {
   VODCACHE_ASSERT(ei == scratch_.size());
 }
 
-void NeighborhoodShard::finish() {
+void NeighborhoodShard::finish(sim::SimTime failure_flush) {
   VODCACHE_EXPECTS(!finished_);
   finished_ = true;
 
@@ -233,7 +235,7 @@ void NeighborhoodShard::finish() {
   // The serial engine applies a failure wave at the first event anywhere in
   // the system at or after its time — including waves after this
   // neighborhood's last own event.  Flush those now.
-  apply_failures(failure_flush_);
+  apply_failures(failure_flush);
 }
 
 }  // namespace vodcache::core

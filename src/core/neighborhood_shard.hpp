@@ -81,22 +81,22 @@ class NeighborhoodShard {
     std::vector<PeerId> peers;
   };
 
-  // `catalog`, `config`, and `board` must outlive the shard.  `failures`
-  // must be in time order.  `failure_flush` is the time of the last event
-  // across the *whole* simulation: failures up to it are applied even
-  // after this shard's own events run out, exactly as the serial engine
-  // would have while other neighborhoods were still active (pass a
-  // negative time when the trace has no events at all).
+  // `catalog`, `config`, `future`, and `board` must outlive the shard.
+  // `failures` must be in time order.  `future` (never null; empty for
+  // non-Oracle strategies) is held by pointer because under the job-graph
+  // executor the orchestrator's prepass jobs fill it *after* shard
+  // construction — the Oracle scorer keeps a reference and only reads once
+  // its gating edge has run.
   // `tiers` (nullable; owned by the orchestrator like `catalog`) enables
   // the multi-tier miss walk with `tier_nodes` as this neighborhood's node
   // path — read-only prebuilt state, so the no-shared-mutable-state
   // determinism argument is untouched.
   NeighborhoodShard(NeighborhoodId id, std::uint32_t peer_count,
                     const trace::Catalog& catalog, sim::SimTime horizon,
-                    const SystemConfig& config, cache::FutureIndex future,
+                    const SystemConfig& config,
+                    const cache::FutureIndex* future,
                     std::shared_ptr<const cache::ReplayBoard> board,
                     std::vector<PendingFailure> failures,
-                    sim::SimTime failure_flush,
                     const TierSystem* tiers = nullptr,
                     std::vector<std::uint32_t> tier_nodes = {});
 
@@ -111,7 +111,19 @@ class NeighborhoodShard {
 
   // Plays out every still-active session and applies trailing failure
   // waves.  Must be called exactly once, after the last feed().
-  void finish();
+  // `failure_flush` is the time of the last event across the *whole*
+  // simulation: failures up to it are applied even after this shard's own
+  // events run out, exactly as the serial engine would have while other
+  // neighborhoods were still active (pass a negative time when the trace
+  // has no events at all).  It is a finish() argument rather than a
+  // constructor one because under the job-graph executor the shard is
+  // built before the streaming prepass has seen the whole trace.
+  void finish(sim::SimTime failure_flush);
+
+  // How many ReplayBoard entries this shard's next feed() may scan (the
+  // prepass watermark its gating edge guarantees).  Serial callers never
+  // need this — the default sentinel reads the whole board.
+  void set_board_visible(std::size_t visible) { clock_.visible = visible; }
 
   [[nodiscard]] NeighborhoodId id() const { return server_.id(); }
   [[nodiscard]] const IndexServer& index_server() const { return server_; }
@@ -153,7 +165,7 @@ class NeighborhoodShard {
   const SystemConfig& config_;
 
   // Strategy backing state; must precede server_ (make_strategy reads it).
-  cache::FutureIndex future_;                          // Oracle
+  const cache::FutureIndex* future_;                   // Oracle
   std::shared_ptr<const cache::ReplayBoard> board_;    // GlobalLFU
   sim::ReplayClock clock_;
 
@@ -181,7 +193,6 @@ class NeighborhoodShard {
 
   std::vector<PendingFailure> failures_;
   std::size_t next_failure_ = 0;
-  sim::SimTime failure_flush_;
   // Monotone scan position for boundary-event replay-clock updates
   // (GlobalLFU only; indexes the board's access timeline, which is the
   // global session sequence).

@@ -1,12 +1,11 @@
 #include "core/sharded_simulation.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
-#include <mutex>
-#include <thread>
+#include <limits>
+#include <string>
 #include <utility>
 
+#include "core/job_graph.hpp"
 #include "sim/peak_stats.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -23,8 +22,6 @@ ShardedSimulation::ShardedSimulation(const trace::SessionSource& source,
   if (!config_.tiers.empty()) {
     tiers_ = std::make_unique<TierSystem>(topology_, config_.prefetch.refresh);
   }
-  prepass();
-  build_shards();
 }
 
 ShardedSimulation::ShardedSimulation(const trace::Trace& trace,
@@ -38,48 +35,51 @@ ShardedSimulation::ShardedSimulation(const trace::Trace& trace,
   if (!config_.tiers.empty()) {
     tiers_ = std::make_unique<TierSystem>(topology_, config_.prefetch.refresh);
   }
-  prepass();
-  build_shards();
 }
 
-void ShardedSimulation::prepass() {
-  // Each requirement below needs whole-trace knowledge before the replay;
-  // everything else streams in a single pass (stream_shards).
-  const bool need_board = config_.strategy.kind == StrategyKind::GlobalLfu;
-  const bool need_future = config_.strategy.kind == StrategyKind::Oracle;
-  const bool need_flush = !config_.peer_failures.empty();
+ShardedSimulation::PrepassNeeds ShardedSimulation::needs() const {
+  // Each requirement needs whole-trace knowledge before the replay;
+  // everything else streams in a single pass.
+  PrepassNeeds need;
+  need.board = config_.strategy.kind == StrategyKind::GlobalLfu;
+  need.future = config_.strategy.kind == StrategyKind::Oracle;
+  need.flush = !config_.peer_failures.empty();
   // Tier prefetch plans are whole-trace knowledge too: a no-op prefetch
   // (None) or all-zero tier capacities leaves every plan empty, so those
   // runs skip the pass like any other single-pass config.
-  const bool need_tiers =
+  need.tiers =
       tiers_ != nullptr && config_.prefetch.kind != PrefetchKind::None &&
       std::any_of(config_.tiers.begin(), config_.tiers.end(),
                   [](const auto& t) { return t.capacity > DataSize{}; });
-  if (!need_board && !need_future && !need_flush && !need_tiers) return;
+  return need;
+}
 
-  const auto neighborhoods = topology_.neighborhood_count();
+void ShardedSimulation::allocate_prepass_outputs(const PrepassNeeds& need) {
+  if (need.board) {
+    board_ = std::make_shared<cache::ReplayBoard>(
+        source_->catalog().size(), config_.strategy.lfu_history,
+        config_.strategy.global_lag);
+    if (const auto hint = source_->session_count_hint(); hint > 0) {
+      board_->reserve(static_cast<std::size_t>(hint));
+    }
+  }
+  if (need.future) {
+    future_.resize(topology_.neighborhood_count());
+    for (auto& index : future_) {
+      index = cache::FutureIndex(source_->catalog().size());
+    }
+  }
+}
+
+void ShardedSimulation::prepass() {
+  const PrepassNeeds need = needs();
+  if (!need.any()) return;
 
   // GlobalLFU: popularity is only ever recorded at session starts, which
   // come straight from the sorted stream — so the whole system-wide access
   // timeline is known before the run.  Prebuild it once; shards read it
   // through private cursors without synchronization.
-  std::shared_ptr<cache::ReplayBoard> board;
-  if (need_board) {
-    board = std::make_shared<cache::ReplayBoard>(
-        source_->catalog().size(), config_.strategy.lfu_history,
-        config_.strategy.global_lag);
-    if (const auto hint = source_->session_count_hint(); hint > 0) {
-      board->reserve(static_cast<std::size_t>(hint));
-    }
-  }
-
-  // Oracle: each neighborhood's clairvoyance covers its own future only.
-  if (need_future) {
-    future_.resize(neighborhoods);
-    for (auto& index : future_) {
-      index = cache::FutureIndex(source_->catalog().size());
-    }
-  }
+  allocate_prepass_outputs(need);
 
   // Failure flush: the time of the last event the serial engine would
   // process — the latest segment-boundary event across all sessions (a
@@ -91,7 +91,7 @@ void ShardedSimulation::prepass() {
   const auto segment_ms = config_.segment_duration.millis_count();
 
   std::unique_ptr<TierPlanBuilder> plan_builder;
-  if (need_tiers) {
+  if (need.tiers) {
     plan_builder = std::make_unique<TierPlanBuilder>(topology_, config_,
                                                      source_->catalog());
   }
@@ -99,17 +99,17 @@ void ShardedSimulation::prepass() {
   auto stream = source_->open();
   trace::SessionRecord record;
   while (stream->next(record)) {
-    if (board) board->add(record.program, record.start);
-    if (need_future || need_tiers) {
+    if (need.board) board_->add(record.program, record.start);
+    if (need.future || need.tiers) {
       const auto neighborhood = topology_.neighborhood_of(record.user);
-      if (need_future) {
+      if (need.future) {
         future_[neighborhood.value()].add(record.program, record.start);
       }
-      if (need_tiers) {
+      if (need.tiers) {
         plan_builder->observe(neighborhood, record.program, record.start);
       }
     }
-    if (need_flush) {
+    if (need.flush) {
       const auto duration_ms = record.duration.millis_count();
       const auto full_boundaries =
           duration_ms > 0 ? (duration_ms - 1) / segment_ms : 0;
@@ -120,10 +120,7 @@ void ShardedSimulation::prepass() {
     }
   }
 
-  if (board) {
-    board->freeze();
-    board_ = std::move(board);
-  }
+  if (need.board) board_->freeze();
   for (auto& index : future_) index.freeze();
   if (plan_builder) {
     tiers_->set_plans(plan_builder->finish(source_->horizon()));
@@ -160,58 +157,11 @@ void ShardedSimulation::build_shards() {
     const NeighborhoodId id{n};
     shards_.push_back(std::make_unique<NeighborhoodShard>(
         id, topology_.size_of(id), source_->catalog(), source_->horizon(),
-        config_, n < future_.size() ? std::move(future_[n])
-                                    : cache::FutureIndex{},
-        board_, std::move(failures[n]), failure_flush_, tiers_.get(),
+        config_, n < future_.size() ? &future_[n] : &empty_future_, board_,
+        std::move(failures[n]), tiers_.get(),
         tiers_ != nullptr ? tiers_->node_path(id)
                           : std::vector<std::uint32_t>{}));
   }
-  future_.clear();
-}
-
-void ShardedSimulation::parallel_for(
-    std::size_t count, std::uint32_t threads,
-    const std::function<void(std::size_t)>& fn) {
-  const auto workers =
-      static_cast<std::size_t>(std::min<std::uint64_t>(threads, count ? count : 1));
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
-    return;
-  }
-
-  // Work-stealing by atomic counter: order of *execution* is
-  // nondeterministic, but tasks (shards) share no mutable state and the
-  // merge runs in index order, so the report cannot tell.
-  //
-  // Threads are spawned per call — i.e. per stream chunk — rather than
-  // kept in a persistent pool.  Deliberate: spawn+join is tens of
-  // microseconds against chunks that replay thousands of sessions, and a
-  // shared pool would reintroduce exactly the cross-chunk mutable state
-  // the determinism argument is built on not having.
-  std::atomic<std::size_t> next{0};
-  std::mutex error_mutex;
-  std::exception_ptr error;
-  auto work = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      try {
-        fn(i);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!error) error = std::current_exception();
-        next.store(count, std::memory_order_relaxed);  // stop claiming
-        return;
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(workers - 1);
-  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(work);
-  work();
-  for (auto& thread : pool) thread.join();
-  if (error) std::rethrow_exception(error);
 }
 
 void ShardedSimulation::stream_shards() {
@@ -252,29 +202,247 @@ void ShardedSimulation::stream_shards() {
       more = stream->next(record);
     }
 
-    parallel_for(active.size(), config_.threads, [&](std::size_t i) {
-      shards_[active[i]]->feed(batches[active[i]]);
-    });
+    for (const auto n : active) shards_[n]->feed(batches[n]);
     for (const auto n : active) batches[n].clear();
     active.clear();
   }
 
   // Drain every shard's boundary queue and flush trailing failure waves.
-  parallel_for(shard_count, config_.threads,
-               [&](std::size_t i) { shards_[i]->finish(); });
+  for (const auto& shard : shards_) shard->finish(failure_flush_);
+}
+
+void ShardedSimulation::run_graph(const PrepassNeeds& need,
+                                  MediaServer& media) {
+  const auto shard_count = shards_.size();
+  const auto user_count = topology_.user_count();
+  const auto catalog_size = source_->catalog().size();
+
+  // Chunk grid: fixed multiples of stream_chunk covering the horizon, with
+  // the count capped so a tiny chunk against a huge horizon cannot explode
+  // the graph — coarsening merges adjacent chunks, which is invisible to
+  // results (chunk boundaries always are) and only trades batch memory.
+  std::int64_t chunk_ms = config_.stream_chunk.millis_count();
+  const std::int64_t horizon_ms = source_->horizon().millis_count();
+  constexpr std::size_t kMaxChunks = 4096;
+  auto count_chunks = [&] {
+    return static_cast<std::size_t>(horizon_ms / chunk_ms) + 1;
+  };
+  if (count_chunks() > kMaxChunks) {
+    chunk_ms *= static_cast<std::int64_t>(
+        (count_chunks() + kMaxChunks - 1) / kMaxChunks);
+  }
+  const std::size_t chunks = count_chunks();
+  const auto chunk_end_ms = [chunk_ms](std::size_t k) {
+    return static_cast<std::int64_t>(k + 1) * chunk_ms;
+  };
+
+  // Batch ring: demux[k] fills slot k % W, every feed[s][k] reads from it,
+  // and demux[k + W] may only overwrite it once all of chunk k's feeds are
+  // done — the edges below say exactly that, bounding live batch memory to
+  // W chunks however far the pipeline runs ahead.
+  constexpr std::size_t kRingWindow = 4;
+  const std::size_t window = std::min(kRingWindow, chunks);
+  std::vector<std::vector<std::vector<NeighborhoodShard::StreamSession>>>
+      batches(window,
+              std::vector<std::vector<NeighborhoodShard::StreamSession>>(
+                  shard_count));
+
+  // ---- prepass chain state (only touched by the prepass jobs, which form
+  // a dependency chain — exclusive access without synchronization).
+  std::unique_ptr<trace::SessionStream> pre_stream;
+  trace::SessionRecord pre_record;
+  bool pre_more = false;
+  std::unique_ptr<TierPlanBuilder> plan_builder;
+  // watermark[k]: board entries appended by prepass chunks 0..k — all
+  // accesses with time < chunk_end(k).  Written by prepass[k], read by
+  // feed[s][k] through its gating edge.
+  std::vector<std::size_t> watermark(need.board ? chunks : 0, 0);
+  const auto segment_ms = config_.segment_duration.millis_count();
+  if (need.any()) {
+    pre_stream = source_->open();
+    pre_more = pre_stream->next(pre_record);
+    if (need.tiers) {
+      plan_builder = std::make_unique<TierPlanBuilder>(topology_, config_,
+                                                       source_->catalog());
+    }
+  }
+
+  // ---- demux chain state (same exclusivity argument).
+  auto demux_stream = source_->open();
+  trace::SessionRecord record;
+  bool more = demux_stream->next(record);
+  std::uint64_t index = 0;
+  sim::SimTime prev;  // 0: sources must not emit negative starts
+
+  JobGraph graph;
+
+  // Prepass nodes: the streaming pass 1, cut at the same chunk edges as
+  // the demux so GlobalLFU feeds can be gated chunk-by-chunk instead of on
+  // the whole pass.
+  std::vector<JobId> prepass_id;
+  JobId prepass_done = 0;
+  if (need.any()) {
+    prepass_id.reserve(chunks);
+    for (std::size_t k = 0; k < chunks; ++k) {
+      prepass_id.push_back(graph.add(
+          [this, &need, &pre_stream, &pre_record, &pre_more, &plan_builder,
+           &watermark, chunk_end_ms, segment_ms, k, chunks] {
+            const auto end_ms = chunk_end_ms(k);
+            const bool last = k + 1 == chunks;
+            while (pre_more &&
+                   (last || pre_record.start.millis_count() < end_ms)) {
+              if (need.board) {
+                board_->add(pre_record.program, pre_record.start);
+              }
+              if (need.future || need.tiers) {
+                const auto n = topology_.neighborhood_of(pre_record.user);
+                if (need.future) {
+                  future_[n.value()].add(pre_record.program, pre_record.start);
+                }
+                if (need.tiers) {
+                  plan_builder->observe(n, pre_record.program,
+                                        pre_record.start);
+                }
+              }
+              if (need.flush) {
+                const auto duration_ms = pre_record.duration.millis_count();
+                const auto full_boundaries =
+                    duration_ms > 0 ? (duration_ms - 1) / segment_ms : 0;
+                failure_flush_ = std::max(
+                    failure_flush_,
+                    pre_record.start +
+                        sim::SimTime::millis(full_boundaries * segment_ms));
+              }
+              pre_more = pre_stream->next(pre_record);
+            }
+            if (need.board) watermark[k] = board_->size();
+          },
+          "prepass#" + std::to_string(k)));
+      if (k > 0) graph.depend(prepass_id[k - 1], prepass_id[k]);
+    }
+    prepass_done = graph.add(
+        [this, &need, &plan_builder] {
+          if (need.board) board_->freeze();
+          for (auto& future : future_) future.freeze();
+          if (need.tiers) {
+            tiers_->set_plans(plan_builder->finish(source_->horizon()));
+          }
+        },
+        "prepass-done");
+    graph.depend(prepass_id.back(), prepass_done);
+  }
+  // Oracle clairvoyance and tier plans are whole-trace products: any feed
+  // may read them, so every feed waits for the full pass.  The failure
+  // flush time is only read by finish.  GlobalLFU needs no full-pass gate —
+  // its feeds gate on their own chunk's watermark.
+  const bool gate_feeds_on_done = need.future || need.tiers;
+
+  // Demux nodes: chunk k of the stream into per-shard batches.  Chained —
+  // the stream is a single-pass cursor — but free to run ahead of the
+  // feeds up to the ring window.
+  std::vector<JobId> demux_id;
+  demux_id.reserve(chunks);
+  for (std::size_t k = 0; k < chunks; ++k) {
+    demux_id.push_back(graph.add(
+        [this, &batches, &demux_stream, &record, &more, &index, &prev,
+         chunk_end_ms, user_count, catalog_size, window, k, chunks] {
+          auto& slot = batches[k % window];
+          for (auto& batch : slot) batch.clear();
+          const auto end_ms = chunk_end_ms(k);
+          const bool last = k + 1 == chunks;
+          while (more && (last || record.start.millis_count() < end_ms)) {
+            // The sorted/ranged contract every source carries; cheap
+            // enough to hold even external sources to it record by record.
+            VODCACHE_EXPECTS(record.start >= prev);
+            VODCACHE_EXPECTS(record.user.value() < user_count);
+            VODCACHE_EXPECTS(record.program.value() < catalog_size);
+            prev = record.start;
+            const auto n = topology_.neighborhood_of(record.user).value();
+            slot[n].push_back({record, index, topology_.peer_of(record.user)});
+            ++index;
+            more = demux_stream->next(record);
+          }
+        },
+        "demux#" + std::to_string(k)));
+    if (k > 0) graph.depend(demux_id[k - 1], demux_id[k]);
+  }
+
+  // Feed nodes: shard s replays its slice of chunk k.  feed[s][k-1] ->
+  // feed[s][k] keeps each shard's mutable state owned by one task at a
+  // time; which worker runs it is free.
+  std::vector<std::vector<JobId>> feed_id(
+      shard_count, std::vector<JobId>(chunks));
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    for (std::size_t k = 0; k < chunks; ++k) {
+      feed_id[s][k] = graph.add(
+          [this, &need, &batches, &watermark, window, s, k] {
+            if (need.board) shards_[s]->set_board_visible(watermark[k]);
+            shards_[s]->feed(batches[k % window][s]);
+          },
+          "feed#" + std::to_string(s) + "." + std::to_string(k));
+      graph.depend(demux_id[k], feed_id[s][k]);
+      if (k > 0) graph.depend(feed_id[s][k - 1], feed_id[s][k]);
+      if (need.board) graph.depend(prepass_id[k], feed_id[s][k]);
+      if (gate_feeds_on_done && k == 0) {
+        graph.depend(prepass_done, feed_id[s][k]);
+      }
+      // Ring: chunk k's slot may be overwritten once its feeds are done.
+      if (k + window < chunks) {
+        graph.depend(feed_id[s][k], demux_id[k + window]);
+      }
+    }
+  }
+
+  // Finish nodes: drain boundaries and flush trailing failure waves.  By
+  // now the prepass chain is complete (transitively through the feed
+  // gates, or the explicit flush gate below), so the whole board is
+  // readable again.
+  std::vector<JobId> finish_id;
+  finish_id.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    finish_id.push_back(graph.add(
+        [this, &need, s] {
+          if (need.board) {
+            shards_[s]->set_board_visible(cache::ReplayBoard::kNoLimit);
+          }
+          shards_[s]->finish(failure_flush_);
+        },
+        "finish#" + std::to_string(s)));
+    graph.depend(feed_id[s].back(), finish_id[s]);
+    if (need.flush) graph.depend(prepass_done, finish_id[s]);
+  }
+
+  // Merge sink: reduce the per-shard central-server slices in neighborhood
+  // order — fixed order keeps the floating-point sums, and hence the
+  // report, bit-identical across thread counts.
+  const JobId merge = graph.add(
+      [this, &media] {
+        for (const auto& shard : shards_) media.merge(shard->media_server());
+      },
+      "merge");
+  for (const JobId fin : finish_id) graph.depend(fin, merge);
+
+  JobExecutor executor(config_.threads);
+  executor_stats_ = executor.run(graph);
 }
 
 SimulationReport ShardedSimulation::run() {
   VODCACHE_EXPECTS(!ran_);
   ran_ = true;
 
-  stream_shards();
-
-  // Reduce the per-shard central-server slices in neighborhood order —
-  // fixed order keeps the floating-point sums, and hence the report,
-  // bit-identical across thread counts.
   MediaServer media(source_->horizon(), config_.meter_bucket);
-  for (const auto& shard : shards_) media.merge(shard->media_server());
+  if (config_.threads <= 1) {
+    // Serial path: prepass, shards, inline chunk loop, fixed-order merge.
+    prepass();
+    build_shards();
+    stream_shards();
+    for (const auto& shard : shards_) media.merge(shard->media_server());
+  } else {
+    const PrepassNeeds need = needs();
+    allocate_prepass_outputs(need);
+    build_shards();
+    run_graph(need, media);
+  }
   return build_report(media);
 }
 

@@ -1,38 +1,51 @@
 // ShardedSimulation: demultiplexes a session stream by neighborhood, runs
-// one NeighborhoodShard per neighborhood across a worker pool, and merges
-// the per-shard results into one SimulationReport.
+// one NeighborhoodShard per neighborhood, and merges the per-shard results
+// into one SimulationReport.
 //
 // The workload arrives as a `trace::SessionSource` — a pull-based stream —
-// so the whole horizon is never materialized: the main loop pulls one time
+// so the whole horizon is never materialized: the demux pulls one time
 // chunk (`SystemConfig::stream_chunk`) of sessions into per-neighborhood
-// batches, the worker pool replays that chunk's batches, and the memory
-// high-water mark is one chunk of sessions plus the shards' own state.  A
-// materialized `Trace` is just one more source (`trace::TraceSource`), so
-// both paths share this code and produce identical bytes.
+// batches, the shards replay that chunk's batches, and the memory
+// high-water mark is a handful of chunks of sessions plus the shards' own
+// state.  A materialized `Trace` is just one more source
+// (`trace::TraceSource`), so both paths share this code and produce
+// identical bytes.
 //
 // Strategies that need whole-trace knowledge get it from a *prepass*: a
-// first streaming pass over the same source builds GlobalLFU's immutable
-// ReplayBoard, the oracle's per-neighborhood FutureIndex, and the
+// first streaming pass over the same source builds GlobalLFU's ReplayBoard,
+// the oracle's per-neighborhood FutureIndex, tier prefetch plans, and the
 // failure-wave flush time.  LRU/LFU/None with no failure waves skip the
 // prepass — those runs read the workload exactly once.
+//
+// Two execution paths share the same per-shard event code:
+//
+//  * threads <= 1: the serial path.  Prepass (if any), then the chunked
+//    demux loop feeding every shard inline on the calling thread.
+//  * threads > 1: the job-graph path.  The run is decomposed into an
+//    explicit task DAG — prepass chunks, demux chunks, per-(shard x chunk)
+//    feed tasks, per-shard finish, and the fixed-order merge sink — and
+//    handed to the work-stealing JobExecutor, so the prepass overlaps the
+//    main pass and a hot shard's chunks pipeline across workers.  See
+//    ARCHITECTURE.md, "The job graph", for the node kinds and edges.
 //
 // Determinism contract: every shard's computation depends only on
 // immutable shared inputs (source, config, topology partition, prebuilt
 // popularity timeline) and its own state; chunk boundaries are invisible
-// to each shard's event order (see NeighborhoodShard::feed); and the merge
-// reduces shards in neighborhood-index order.  The report is therefore
-// bit-identical for every thread count and every chunk size — both are
-// purely wall-clock/memory knobs.
+// to each shard's event order (see NeighborhoodShard::feed); per-shard
+// state is touched by at most one task at a time (each shard's feeds form
+// a dependency chain); and the merge reduces shards in neighborhood-index
+// order.  The report is therefore bit-identical for every thread count and
+// every chunk size — both are purely wall-clock/memory knobs.
 #pragma once
 
 #include <cstddef>
-#include <functional>
 #include <memory>
 #include <vector>
 
 #include "cache/future_index.hpp"
 #include "cache/popularity_board.hpp"
 #include "core/config.hpp"
+#include "core/job_executor.hpp"
 #include "core/media_server.hpp"
 #include "core/neighborhood_shard.hpp"
 #include "core/report.hpp"
@@ -62,33 +75,57 @@ class ShardedSimulation {
   [[nodiscard]] const hfc::Topology& topology() const { return topology_; }
   [[nodiscard]] const SystemConfig& config() const { return config_; }
 
+  // Scheduling observability for the last run().  All-zero on the serial
+  // path (threads <= 1), which never builds a graph.  Never part of the
+  // SimulationReport — the report is pinned byte-identical across thread
+  // counts, and these numbers are exactly the nondeterministic part.
+  [[nodiscard]] const ExecutorStats& executor_stats() const {
+    return executor_stats_;
+  }
+
  private:
-  // Streaming pass 1 (only when the strategy or failure waves need
-  // whole-trace knowledge): ReplayBoard, FutureIndex, failure flush time.
+  // Which whole-trace prepass products this config needs.
+  struct PrepassNeeds {
+    bool board = false;   // GlobalLFU popularity timeline
+    bool future = false;  // Oracle clairvoyance
+    bool flush = false;   // failure waves: last-event flush time
+    bool tiers = false;   // tier prefetch plans
+    [[nodiscard]] bool any() const { return board || future || flush || tiers; }
+  };
+  [[nodiscard]] PrepassNeeds needs() const;
+
+  // Serial path: streaming pass 1 building every needed prepass product.
   void prepass();
+  // Graph path: allocate the (empty) prepass products the shards point at;
+  // the graph's prepass chain fills them.
+  void allocate_prepass_outputs(const PrepassNeeds& need);
   void build_shards();
-  // Streaming pass 2: chunked demux into per-shard batches, replayed on
-  // the worker pool chunk by chunk.
+  // Serial path: chunked demux into per-shard batches, replayed inline.
   void stream_shards();
-  // Runs fn(0..count) to completion on `threads` workers (1 = inline).
-  void parallel_for(std::size_t count, std::uint32_t threads,
-                    const std::function<void(std::size_t)>& fn);
+  // Graph path: build the prepass/demux/feed/finish/merge DAG and run it
+  // on the work-stealing executor.  Merges into `media` (the sink node).
+  void run_graph(const PrepassNeeds& need, MediaServer& media);
   [[nodiscard]] SimulationReport build_report(const MediaServer& media) const;
 
   std::unique_ptr<trace::SessionSource> owned_source_;  // Trace ctor only
   const trace::SessionSource* source_;
   SystemConfig config_;
   hfc::Topology topology_;
-  // GlobalLFU only: the immutable popularity timeline all shards read.
-  std::shared_ptr<const cache::ReplayBoard> board_;
+  // GlobalLFU only: the popularity timeline all shards read.  Owned
+  // mutably here so the graph's prepass chain can append to it after the
+  // shards (which hold const views) are built.
+  std::shared_ptr<cache::ReplayBoard> board_;
   // Tiered topologies only: the tier specs plus the prepass-built prefetch
   // plans, read concurrently by every shard.
   std::unique_ptr<TierSystem> tiers_;
-  // Oracle only: per-neighborhood clairvoyance (consumed by build_shards).
+  // Oracle only: per-neighborhood clairvoyance.  Shards hold pointers into
+  // this vector (or at empty_future_), so it lives as long as they do.
   std::vector<cache::FutureIndex> future_;
+  cache::FutureIndex empty_future_;
   // Failure waves only: time of the last event anywhere in the system.
   sim::SimTime failure_flush_ = sim::SimTime::millis(-1);
   std::vector<std::unique_ptr<NeighborhoodShard>> shards_;
+  ExecutorStats executor_stats_;
   bool ran_ = false;
 };
 

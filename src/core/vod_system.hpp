@@ -55,6 +55,12 @@ class VodSystem {
   [[nodiscard]] const SystemConfig& config() const {
     return simulation_.config();
   }
+  // Work-stealing scheduler observability for the last run(); all-zero on
+  // the serial path.  Deliberately outside SimulationReport: the report is
+  // byte-identical across thread counts, these numbers are not.
+  [[nodiscard]] const ExecutorStats& executor_stats() const {
+    return simulation_.executor_stats();
+  }
 
  private:
   ShardedSimulation simulation_;

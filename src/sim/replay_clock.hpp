@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 
 #include "sim/time.hpp"
 
@@ -26,6 +27,11 @@ struct ReplayClock {
   SimTime now;
   // Number of trace records replayed system-wide before the current event.
   std::size_t position = 0;
+  // How many ReplayBoard entries this shard may scan.  Under the job-graph
+  // executor the orchestrator sets this to the prepass chunk watermark the
+  // shard's current feed job is gated on; the sentinel means "no concurrent
+  // writer — clamp to the board's size" (the serial engine's contract).
+  std::size_t visible = std::numeric_limits<std::size_t>::max();
 };
 
 }  // namespace vodcache::sim

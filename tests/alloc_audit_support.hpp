@@ -51,10 +51,10 @@ inline ShardAuditResult audit_shard_allocations(
     sessions.push_back({records[i], i, topology.peer_of(records[i].user)});
   }
 
+  const cache::FutureIndex empty_future;
   core::NeighborhoodShard shard(
       NeighborhoodId{0}, topology.size_of(NeighborhoodId{0}), trace.catalog(),
-      trace.horizon(), config, cache::FutureIndex{}, nullptr, {},
-      sim::SimTime::millis(-1));
+      trace.horizon(), config, &empty_future, nullptr, {});
 
   constexpr std::size_t kBatch = 256;
   const auto feed_range = [&](std::size_t begin, std::size_t end) {
@@ -75,7 +75,7 @@ inline ShardAuditResult audit_shard_allocations(
   ShardAuditResult result;
   result.steady_allocs = alloc_count() - before;
   result.steady_sessions = sessions.size() - cut;
-  shard.finish();
+  shard.finish(sim::SimTime::millis(-1));
   return result;
 }
 

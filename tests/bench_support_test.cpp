@@ -1,0 +1,81 @@
+// Bounds tests for the bench harness env plumbing — in particular the
+// VODCACHE_THREADS=0 convention ("use hardware concurrency") that sizes
+// the job-graph executor's worker pool on CI runners of unknown width.
+#include <cstdlib>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "bench_support.hpp"
+
+namespace vodcache::bench {
+namespace {
+
+// Each test owns the variable for its duration; the fixture restores a
+// clean slate so test order cannot leak values.
+class EnvInt : public ::testing::Test {
+ protected:
+  void SetUp() override { ::unsetenv("VODCACHE_TEST_KNOB"); }
+  void TearDown() override { ::unsetenv("VODCACHE_TEST_KNOB"); }
+};
+
+TEST_F(EnvInt, UnsetYieldsFallback) {
+  EXPECT_EQ(env_int("VODCACHE_TEST_KNOB", 7), 7);
+  EXPECT_EQ(env_int("VODCACHE_TEST_KNOB", 7, /*zero_ok=*/true), 7);
+}
+
+TEST_F(EnvInt, PositiveValueParses) {
+  ::setenv("VODCACHE_TEST_KNOB", "12", 1);
+  EXPECT_EQ(env_int("VODCACHE_TEST_KNOB", 7), 12);
+}
+
+TEST_F(EnvInt, ZeroAllowedOnlyWhenOptedIn) {
+  ::setenv("VODCACHE_TEST_KNOB", "0", 1);
+  EXPECT_EQ(env_int("VODCACHE_TEST_KNOB", 7, /*zero_ok=*/true), 0);
+  EXPECT_EXIT((void)env_int("VODCACHE_TEST_KNOB", 7),
+              ::testing::ExitedWithCode(2), "positive integer");
+}
+
+TEST_F(EnvInt, NegativeAndGarbageAbortLoudly) {
+  ::setenv("VODCACHE_TEST_KNOB", "-3", 1);
+  EXPECT_EXIT((void)env_int("VODCACHE_TEST_KNOB", 7, /*zero_ok=*/true),
+              ::testing::ExitedWithCode(2), "positive integer");
+  ::setenv("VODCACHE_TEST_KNOB", "3O", 1);  // the motivating typo
+  EXPECT_EXIT((void)env_int("VODCACHE_TEST_KNOB", 7),
+              ::testing::ExitedWithCode(2), "positive integer");
+}
+
+class WorkloadThreads : public ::testing::Test {
+ protected:
+  void SetUp() override { ::unsetenv("VODCACHE_THREADS"); }
+  void TearDown() override { ::unsetenv("VODCACHE_THREADS"); }
+};
+
+TEST_F(WorkloadThreads, FallbackWhenUnset) {
+  EXPECT_EQ(workload_threads(), 1);
+  EXPECT_EQ(workload_threads(4), 4);
+}
+
+TEST_F(WorkloadThreads, ExplicitCountWins) {
+  ::setenv("VODCACHE_THREADS", "6", 1);
+  EXPECT_EQ(workload_threads(), 6);
+}
+
+TEST_F(WorkloadThreads, ZeroMeansHardwareConcurrencyAndStaysPositive) {
+  ::setenv("VODCACHE_THREADS", "0", 1);
+  const int threads = workload_threads();
+  EXPECT_GE(threads, 1);
+  const auto hardware = std::thread::hardware_concurrency();
+  if (hardware > 0) {
+    EXPECT_EQ(threads, static_cast<int>(hardware));
+  }
+}
+
+TEST_F(WorkloadThreads, NegativeStillAborts) {
+  ::setenv("VODCACHE_THREADS", "-1", 1);
+  EXPECT_EXIT((void)workload_threads(), ::testing::ExitedWithCode(2),
+              "positive integer");
+}
+
+}  // namespace
+}  // namespace vodcache::bench

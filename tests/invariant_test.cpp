@@ -78,8 +78,10 @@ RandomCase draw_case(std::uint64_t seed) {
       sim::SimTime::hours(rng.uniform_int(1, 24));
   // Low enough that the coax-headroom gate actually fires on some draws.
   config.admission_policy.headroom_fraction = rng.uniform_double(0.005, 0.9);
-  const std::uint32_t thread_choices[] = {1, 2, 3, 8};
-  config.threads = thread_choices[rng.uniform_u64(4)];
+  // 16 on a handful of shards is deliberate oversubscription — the
+  // executor's spare workers spin on steals and the report must not tell.
+  const std::uint32_t thread_choices[] = {1, 2, 3, 8, 16};
+  config.threads = thread_choices[rng.uniform_u64(5)];
   const sim::SimTime chunk_choices[] = {sim::SimTime::minutes(15),
                                         sim::SimTime::hours(1),
                                         sim::SimTime::hours(5)};

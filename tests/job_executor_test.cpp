@@ -1,0 +1,299 @@
+// The work-stealing executor's test battery (the safety half of the
+// job-graph tentpole): random-DAG topological-order fuzzing, completion
+// invariants, steal-under-contention stress, exception propagation, and a
+// pinned diamond-DAG memory-visibility regression.  The sharded simulation
+// builds its determinism argument on the guarantees pinned here — a node
+// runs exactly once, after every predecessor completed, with the
+// predecessors' writes visible.
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/job_executor.hpp"
+#include "core/job_graph.hpp"
+#include "util/rng.hpp"
+
+namespace vodcache::core {
+namespace {
+
+// ------------------------------------------------------------- JobGraph
+
+TEST(JobGraph, CsrAdjacencyMatchesDeclaredEdges) {
+  JobGraph graph;
+  const JobId a = graph.add({}, "a");
+  const JobId b = graph.add({}, "b");
+  const JobId c = graph.add({}, "c");
+  graph.depend(a, b);
+  graph.depend(a, c);
+  graph.depend(b, c);
+  graph.finalize();
+
+  EXPECT_EQ(graph.node_count(), 3u);
+  EXPECT_EQ(graph.edge_count(), 3u);
+  EXPECT_EQ(graph.dependency_count(a), 0u);
+  EXPECT_EQ(graph.dependency_count(b), 1u);
+  EXPECT_EQ(graph.dependency_count(c), 2u);
+  EXPECT_EQ(graph.children(a).size(), 2u);
+  EXPECT_EQ(graph.children(b).size(), 1u);
+  EXPECT_EQ(graph.children(b)[0], c);
+  EXPECT_TRUE(graph.children(c).empty());
+  EXPECT_EQ(graph.name(b), "b");
+}
+
+TEST(JobGraph, FinalizeThrowsOnCycleNamingANode) {
+  JobGraph graph;
+  const JobId a = graph.add({}, "ouroboros-head");
+  const JobId b = graph.add({}, "ouroboros-tail");
+  graph.depend(a, b);
+  graph.depend(b, a);
+  try {
+    graph.finalize();
+    FAIL() << "cycle not detected";
+  } catch (const std::logic_error& error) {
+    EXPECT_NE(std::string(error.what()).find("ouroboros"), std::string::npos);
+  }
+}
+
+TEST(JobGraph, MutationAfterFinalizeReopensTheGraph) {
+  JobGraph graph;
+  const JobId a = graph.add({});
+  graph.finalize();
+  EXPECT_TRUE(graph.finalized());
+  const JobId b = graph.add({});
+  EXPECT_FALSE(graph.finalized());
+  graph.depend(a, b);
+  graph.finalize();
+  EXPECT_EQ(graph.dependency_count(b), 1u);
+}
+
+// ---------------------------------------------------------- JobExecutor
+
+TEST(JobExecutor, EmptyGraphRunsToCompletion) {
+  JobGraph graph;
+  JobExecutor executor(4);
+  const ExecutorStats stats = executor.run(graph);
+  EXPECT_EQ(stats.executed, 0u);
+  EXPECT_EQ(stats.cancelled, 0u);
+}
+
+TEST(JobExecutor, ZeroWorkersMeansHardwareConcurrency) {
+  const JobExecutor executor(0);
+  const auto hardware = std::thread::hardware_concurrency();
+  EXPECT_EQ(executor.worker_count(), hardware == 0 ? 1u : hardware);
+  EXPECT_GE(executor.worker_count(), 1u);
+}
+
+TEST(JobExecutor, GraphIsReusableAcrossRuns) {
+  std::atomic<int> runs{0};
+  JobGraph graph;
+  const JobId a = graph.add([&] { runs.fetch_add(1); });
+  const JobId b = graph.add([&] { runs.fetch_add(1); });
+  graph.depend(a, b);
+  JobExecutor executor(2);
+  for (int round = 0; round < 3; ++round) {
+    const ExecutorStats stats = executor.run(graph);
+    EXPECT_EQ(stats.executed, 2u);
+  }
+  EXPECT_EQ(runs.load(), 6);
+}
+
+// Every node runs exactly once and strictly after each of its declared
+// predecessors, across ~50 random DAG shapes x random worker counts.  The
+// per-node completion stamps come from one shared atomic counter: any
+// stamp taken inside a predecessor's closure precedes any stamp taken in a
+// successor's, because the executor promises the whole closure completed
+// (with a happens-before edge) first.
+TEST(JobExecutor, RandomDagsRespectTopologicalOrder) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed);
+    const auto nodes =
+        static_cast<std::size_t>(2 + rng.uniform_u64(60));  // 2..61
+    const double edge_p = 0.05 + 0.25 * rng.uniform_double();
+    const std::uint32_t worker_choices[] = {1, 2, 3, 4, 8, 16};
+    const auto workers = worker_choices[rng.uniform_u64(6)];
+
+    std::vector<std::atomic<std::uint32_t>> ran(nodes);
+    for (auto& r : ran) r.store(0);
+    std::vector<std::uint64_t> stamp(nodes, 0);
+    std::atomic<std::uint64_t> ticket{0};
+
+    JobGraph graph;
+    for (std::size_t n = 0; n < nodes; ++n) {
+      graph.add([&, n] {
+        ran[n].fetch_add(1);
+        stamp[n] = ticket.fetch_add(1) + 1;
+      });
+    }
+    // Edges only from lower to higher index: acyclic by construction.
+    std::vector<std::pair<JobId, JobId>> edges;
+    for (std::size_t a = 0; a < nodes; ++a) {
+      for (std::size_t b = a + 1; b < nodes; ++b) {
+        if (rng.bernoulli(edge_p)) {
+          graph.depend(static_cast<JobId>(a), static_cast<JobId>(b));
+          edges.emplace_back(static_cast<JobId>(a), static_cast<JobId>(b));
+        }
+      }
+    }
+
+    JobExecutor executor(workers);
+    const ExecutorStats stats = executor.run(graph);
+
+    ASSERT_EQ(stats.executed, nodes) << "seed " << seed;
+    ASSERT_EQ(stats.cancelled, 0u) << "seed " << seed;
+    for (std::size_t n = 0; n < nodes; ++n) {
+      ASSERT_EQ(ran[n].load(), 1u) << "seed " << seed << " node " << n;
+      ASSERT_GT(stamp[n], 0u) << "seed " << seed << " node " << n;
+    }
+    for (const auto& [parent, child] : edges) {
+      ASSERT_LT(stamp[parent], stamp[child])
+          << "seed " << seed << ": node " << child << " ran before its "
+          << "dependency " << parent;
+    }
+  }
+}
+
+// One root fans out into a horde of tiny tasks, all initially queued on the
+// deque of whichever worker ran the root — every other worker has to steal
+// to participate.  Retried because a pathologically fast owner could in
+// principle drain the whole horde before anyone else wakes.
+TEST(JobExecutor, StealsUnderContention) {
+  constexpr std::uint32_t kWorkers = 8;
+  constexpr std::size_t kTasks = 4000;
+  std::uint64_t steals = 0;
+  for (int attempt = 0; attempt < 5 && steals == 0; ++attempt) {
+    std::atomic<std::uint64_t> sum{0};
+    JobGraph graph;
+    const JobId root = graph.add({});
+    for (std::size_t n = 0; n < kTasks; ++n) {
+      const JobId task = graph.add([&sum, n] {
+        // Enough work per task that the horde outlives worker wakeup.
+        std::uint64_t h = n;
+        for (int i = 0; i < 400; ++i) h = h * 6364136223846793005ull + 1;
+        sum.fetch_add(h == 0 ? 1 : 2, std::memory_order_relaxed);
+      });
+      graph.depend(root, task);
+    }
+    JobExecutor executor(kWorkers);
+    const ExecutorStats stats = executor.run(graph);
+    ASSERT_EQ(stats.executed, kTasks + 1);
+    ASSERT_EQ(sum.load(), 2 * kTasks);
+    ASSERT_EQ(stats.worker_busy_ms.size(), kWorkers);
+    steals = stats.steals;
+  }
+  EXPECT_GT(steals, 0u);
+}
+
+TEST(JobExecutor, ExceptionPropagatesAndCancelsDependents) {
+  std::atomic<bool> dependent_ran{false};
+  std::atomic<bool> independent_ran{false};
+  JobGraph graph;
+  const JobId boom =
+      graph.add([] { throw std::runtime_error("segment fault (the VOD kind)"); });
+  const JobId dependent = graph.add([&] { dependent_ran.store(true); });
+  graph.depend(boom, dependent);
+  // An independent root may or may not run before the failure is noticed —
+  // either is fine; the contract is only that *dependents* of the thrower
+  // never run.
+  graph.add([&] { independent_ran.store(true); });
+
+  JobExecutor executor(2);
+  try {
+    executor.run(graph);
+    FAIL() << "exception not propagated";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "segment fault (the VOD kind)");
+  }
+  EXPECT_FALSE(dependent_ran.load());
+}
+
+TEST(JobExecutor, ExceptionStatsAccountForEveryNode) {
+  JobGraph graph;
+  const JobId boom = graph.add([] { throw std::runtime_error("boom"); });
+  JobId prev = boom;
+  constexpr std::size_t kChain = 20;
+  for (std::size_t n = 0; n < kChain; ++n) {
+    const JobId next = graph.add([] {});
+    graph.depend(prev, next);
+    prev = next;
+  }
+  JobExecutor executor(4);
+  try {
+    executor.run(graph);
+    FAIL() << "exception not propagated";
+  } catch (const std::runtime_error&) {
+  }
+  // The graph must be reusable (and consistent) after a failed run: the
+  // executor's per-run state is its own.
+  EXPECT_TRUE(graph.finalized());
+}
+
+// Pinned regression for the memory-visibility guarantee: a diamond's sink
+// must observe both branches' plain (non-atomic) writes, and the branches
+// must observe the root's.  Any missing acquire/release in the executor's
+// hand-off turns this into a torn read — and a TSan finding.
+TEST(JobExecutor, DiamondSinkSeesAllPredecessorWrites) {
+  constexpr int kRounds = 200;
+  for (int round = 0; round < kRounds; ++round) {
+    std::uint64_t root_value = 0;
+    std::uint64_t left_value = 0;
+    std::uint64_t right_value = 0;
+    std::uint64_t sink_sum = 0;
+
+    JobGraph graph;
+    const JobId root = graph.add([&] { root_value = 41; });
+    const JobId left = graph.add([&] { left_value = root_value + 1; });
+    const JobId right = graph.add([&] { right_value = root_value * 2; });
+    const JobId sink = graph.add([&] { sink_sum = left_value + right_value; });
+    graph.depend(root, left);
+    graph.depend(root, right);
+    graph.depend(left, sink);
+    graph.depend(right, sink);
+
+    JobExecutor executor(4);
+    const ExecutorStats stats = executor.run(graph);
+    ASSERT_EQ(stats.executed, 4u);
+    ASSERT_EQ(sink_sum, 42u + 82u) << "round " << round;
+  }
+}
+
+// A long dependency chain mutating one plain counter: exactly the shape of
+// a shard's chunk chain (feed[s][k-1] -> feed[s][k]), which the simulation
+// relies on for single-owner access to per-shard state.
+TEST(JobExecutor, ChainMutatesSharedStateWithoutSynchronization) {
+  constexpr std::size_t kLinks = 500;
+  std::uint64_t counter = 0;
+  JobGraph graph;
+  JobId prev = graph.add([&] { ++counter; });
+  for (std::size_t n = 1; n < kLinks; ++n) {
+    const JobId next = graph.add([&] { ++counter; });
+    graph.depend(prev, next);
+    prev = next;
+  }
+  JobExecutor executor(8);
+  const ExecutorStats stats = executor.run(graph);
+  EXPECT_EQ(stats.executed, kLinks);
+  EXPECT_EQ(counter, kLinks);
+}
+
+TEST(JobExecutor, UtilizationIsAFractionAndBusyTimeIsTracked) {
+  JobGraph graph;
+  for (int n = 0; n < 64; ++n) {
+    graph.add([] {
+      volatile std::uint64_t x = 0;
+      for (int i = 0; i < 20000; ++i) x = x + static_cast<std::uint64_t>(i);
+    });
+  }
+  JobExecutor executor(2);
+  const ExecutorStats stats = executor.run(graph);
+  EXPECT_EQ(stats.executed, 64u);
+  EXPECT_GT(stats.wall_ms, 0.0);
+  EXPECT_GT(stats.utilization(), 0.0);
+  EXPECT_LE(stats.utilization(), 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace vodcache::core

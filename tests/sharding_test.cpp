@@ -7,10 +7,13 @@
 // (central-server metering, global popularity, failure waves).
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <string>
 
 #include "core/report_json.hpp"
 #include "core/vod_system.hpp"
+#include "scenario/adaptors.hpp"
+#include "scenario/scenario.hpp"
 #include "test_support.hpp"
 #include "trace/generator.hpp"
 
@@ -71,6 +74,7 @@ TEST_P(ThreadCountInvariance, ReportBytesIdenticalAcrossThreadCounts) {
   const auto serial = run_json(sharding_trace(), config, 1);
   EXPECT_EQ(serial, run_json(sharding_trace(), config, 2));
   EXPECT_EQ(serial, run_json(sharding_trace(), config, 8));
+  EXPECT_EQ(serial, run_json(sharding_trace(), config, 16));
 }
 
 TEST(ThreadCountInvarianceExtras, SegmentAdmissionWithReplication) {
@@ -109,6 +113,27 @@ TEST(ThreadCountInvarianceExtras, MoreThreadsThanShards) {
   config.neighborhood_size = 200;  // 2 shards, 8 workers
   const auto serial = run_json(sharding_trace(), config, 1);
   EXPECT_EQ(serial, run_json(sharding_trace(), config, 8));
+}
+
+// Oversubscription well past shards x 2: with only 2 shards the executor's
+// spare workers mostly steal and starve — the report still cannot tell.
+TEST(ThreadCountInvarianceExtras, OversubscribedWorkerPool) {
+  auto config = sharding_config(StrategyKind::GlobalLfu);
+  config.neighborhood_size = 200;  // 2 shards, 16 workers
+  const auto serial = run_json(sharding_trace(), config, 1);
+  EXPECT_EQ(serial, run_json(sharding_trace(), config, 16));
+}
+
+// Chunk size only re-cuts the job graph (more, smaller feed tasks); the
+// per-shard event order — and hence the bytes — must not move.
+TEST(ThreadCountInvarianceExtras, ChunkSizeInvisibleOnExecutorPath) {
+  auto config = sharding_config(StrategyKind::GlobalLfu);
+  const auto serial = run_json(sharding_trace(), config, 1);
+  for (const std::int64_t minutes : {20, 45, 240}) {
+    config.stream_chunk = sim::SimTime::minutes(minutes);
+    EXPECT_EQ(serial, run_json(sharding_trace(), config, 8))
+        << "chunk=" << minutes << "min";
+  }
 }
 
 TEST(ThreadCountInvarianceExtras, FailureWavesAcrossShards) {
@@ -151,6 +176,56 @@ TEST(FailureFlush, LateWaveHitsIdleNeighborhoods) {
     // after the wave.
     EXPECT_EQ(report.peer_failures, 4u) << threads << " threads";
     EXPECT_GT(report.wiped_bytes, 0.0) << threads << " threads";
+  }
+}
+
+// Executor-path pins on the two shipped scenarios that stress the job
+// graph hardest: neighborhood_skew (one hot shard whose chunk chain must
+// pipeline across workers while cold shards starve) and failure_storm
+// (the prepass flush gate plus pre-rolled failure waves).  Byte-identity
+// across threads 1/2/8/16 and across chunk sizes, under GlobalLFU so the
+// watermark-bounded board reads are on the hook too.
+class ScenarioExecutorIdentity : public ::testing::TestWithParam<const char*> {
+};
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, ScenarioExecutorIdentity,
+                         ::testing::Values("neighborhood_skew",
+                                           "failure_storm"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST_P(ScenarioExecutorIdentity, ByteIdenticalAcrossThreadsAndChunks) {
+  const auto path = std::filesystem::path(VODCACHE_SCENARIO_DIR) /
+                    (std::string(GetParam()) + ".scn");
+  const auto spec = scenario::load_scenario_file(path.string());
+
+  SystemConfig config;
+  config.strategy.kind = StrategyKind::GlobalLfu;
+  config.strategy.lfu_history = sim::SimTime::hours(24);
+  scenario::apply_system(spec, config);
+  const scenario::ScenarioWorkload workload(spec, config.neighborhood_size);
+
+  config.threads = 1;
+  std::string reference;
+  {
+    VodSystem system(workload.source(), config);
+    reference = to_json(system.run(), /*include_neighborhoods=*/true);
+  }
+  for (const std::uint32_t threads : {2u, 8u, 16u}) {
+    auto run = config;
+    run.threads = threads;
+    VodSystem system(workload.source(), run);
+    EXPECT_EQ(to_json(system.run(), true), reference)
+        << "threads=" << threads;
+  }
+  for (const std::int64_t minutes : {30, 180}) {
+    auto run = config;
+    run.threads = 8;
+    run.stream_chunk = sim::SimTime::minutes(minutes);
+    VodSystem system(workload.source(), run);
+    EXPECT_EQ(to_json(system.run(), true), reference)
+        << "chunk=" << minutes << "min";
   }
 }
 
