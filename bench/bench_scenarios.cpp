@@ -12,7 +12,22 @@
 //    easy); the decay and skew scenarios are the hard ones;
 //  * hit rates must *differ* across scenarios — if every scenario lands
 //    at the same hit rate the adaptors are not doing anything, and the
-//    bench exits nonzero (the acceptance gate for the scenario engine).
+//    bench exits nonzero (the acceptance gate for the scenario engine);
+//  * on the flash crowd, the sketch-lfu gate must beat second-hit under
+//    LRU eviction: the fast-halving count-min sketch admits the crowd
+//    instantly (its counts outrun any decay) while one-evening-wonders
+//    decay below the threshold, where second-hit re-admits any pair of
+//    close accesses — and LRU, the churn-prone scorer, is where that
+//    extra filtering pays (LFU already encodes frequency in eviction, so
+//    a frequency gate is redundant there).  The bench exits nonzero if
+//    the sketch column does not win that scenario.
+//
+// Since the shadow-matrix pass (cache/shadow_bank.hpp), each scenario
+// costs TWO replays instead of one per matrix cell: a calibration pass
+// reads the peak coax off the (policy-independent) meters, then one
+// shadow pass carries every (scorer x admission) pair and emits the full
+// matrix.  The shadow cells are pinned equal to standalone runs in
+// tests/shadow_bank_test.cpp and bench_policy_matrix's cross-check mode.
 //
 // Scenario files come from VODCACHE_SCENARIO_DIR (env override; defaults
 // to the repo's examples/scenarios, baked in at compile time).  A
@@ -22,12 +37,11 @@
 // Emits BENCH_scenarios.json (override with VODCACHE_SCENARIOS_JSON):
 //   {bench, scenarios:[{name, summary, users, days, no_cache_gbps,
 //    headroom_fraction, rows:[{scorer, admission, hit_ratio,
-//    byte_hit_ratio, server_peak_gbps, reduction_pct, fills, evictions,
-//    admission_denials}]}], lfu_hit_rate_spread}
+//    byte_hit_ratio, fills, evictions, admission_denials}]}],
+//    lfu_hit_rate_spread, flash_crowd_sketch_beats_second_hit}
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -44,24 +58,11 @@ using namespace vodcache;
 
 namespace {
 
-struct Row {
-  std::string scorer;
-  std::string admission;
-  double hit_ratio;
-  double byte_hit_ratio;
-  double server_peak_gbps;
-  double reduction_pct;
-  std::uint64_t fills;
-  std::uint64_t evictions;
-  std::uint64_t admission_denials;
-};
-
 struct ScenarioResult {
   scenario::ScenarioSpec spec;
   double no_cache_gbps;
   double headroom_fraction;
-  std::vector<Row> rows;
-  double lfu_always_hit_ratio;
+  std::vector<core::ShadowCellReport> rows;
 };
 
 // The scenario name (a file stem) and summary (free text) are the only
@@ -91,6 +92,18 @@ std::vector<std::string> scenario_files() {
   return files;
 }
 
+double cell_hit_ratio(const ScenarioResult& result, const std::string& scorer,
+                      const std::string& admission) {
+  for (const auto& cell : result.rows) {
+    if (cell.scorer == scorer && cell.admission == admission) {
+      return cell.hit_ratio();
+    }
+  }
+  std::cerr << "FAIL: scenario " << result.spec.name << " lacks cell "
+            << scorer << " x " << admission << '\n';
+  std::exit(1);
+}
+
 }  // namespace
 
 int main() {
@@ -113,6 +126,7 @@ int main() {
     core::SystemConfig base;
     base.strategy.kind = core::StrategyKind::Lfu;
     scenario::apply_system(result.spec, base);
+    base.shadow_matrix = true;
 
     // Materialize the scenario once (these are bench-sized workloads);
     // the streamed twin is pinned byte-identical in tests/scenario_test.
@@ -124,53 +138,38 @@ int main() {
                                               base.peak_window, base.warmup);
     result.no_cache_gbps = demand.mean.gbps();
 
-    // Calibrate the coax-headroom gate per scenario from the always-run's
-    // own peak coax (see bench_policy_matrix): the gate provably engages
-    // during *this* scenario's peaks, whatever its scale.
+    // Calibrate the coax-headroom gate per scenario from the run's own
+    // peak coax (see bench_policy_matrix): the meters are policy-
+    // independent, so the calibration pass's peak is *the* peak, and the
+    // gate provably engages during this scenario's busy hours.
     const auto calibration = bench::run_system(trace, base);
     result.headroom_fraction = std::min(
         1.0, std::max(0.01, calibration.coax_peak_pooled.mean.bps() /
                                 base.coax.available_low().bps()));
+    base.admission_policy.headroom_fraction = result.headroom_fraction;
+
+    const auto report = bench::run_system(trace, base);
+    result.rows = report.shadow_matrix;
+    if (result.rows.empty()) {
+      std::cerr << "FAIL: scenario " << result.spec.name
+                << " produced no shadow cells\n";
+      return 1;
+    }
 
     std::cout << "\n--- scenario: " << result.spec.name << " ("
               << result.spec.summary << ")\n";
     analysis::Table table({"scorer", "admission", "hit rate", "byte hit",
-                           "Gb/s [q05, q95]", "reduction", "denials"});
-    for (const auto& scorer : core::scorer_registry()) {
-      if (scorer.kind == core::StrategyKind::None) continue;
-      for (const auto& admission : core::admission_registry()) {
-        auto config = base;
-        config.strategy.kind = scorer.kind;
-        config.admission_policy.kind = admission.kind;
-        config.admission_policy.headroom_fraction = result.headroom_fraction;
-        const auto report = (scorer.kind == core::StrategyKind::Lfu &&
-                             admission.kind == core::AdmissionKind::Always)
-                                ? calibration
-                                : bench::run_system(trace, config);
-
-        Row row;
-        row.scorer = scorer.display;
-        row.admission = admission.display;
-        row.hit_ratio = report.hit_ratio();
-        row.byte_hit_ratio = report.byte_hit_ratio();
-        row.server_peak_gbps = report.server_peak.mean.gbps();
-        row.reduction_pct = 100.0 * report.reduction_vs(demand.mean);
-        row.fills = report.fills;
-        row.evictions = report.evictions;
-        row.admission_denials = report.admission_denials;
-        result.rows.push_back(row);
-        if (scorer.kind == core::StrategyKind::Lfu &&
-            admission.kind == core::AdmissionKind::Always) {
-          result.lfu_always_hit_ratio = row.hit_ratio;
-        }
-
-        table.add_row({row.scorer, row.admission,
-                       analysis::Table::num(row.hit_ratio, 3),
-                       analysis::Table::num(row.byte_hit_ratio, 3),
-                       bench::fmt_peak(report.server_peak),
-                       analysis::Table::num(row.reduction_pct, 1) + "%",
-                       std::to_string(row.admission_denials)});
-      }
+                           "fills", "denials"});
+    for (const auto& cell : result.rows) {
+      const double byte_hit =
+          cell.hit_bits + cell.miss_bits > 0.0
+              ? cell.hit_bits / (cell.hit_bits + cell.miss_bits)
+              : 0.0;
+      table.add_row({cell.scorer, cell.admission,
+                     analysis::Table::num(cell.hit_ratio(), 3),
+                     analysis::Table::num(byte_hit, 3),
+                     std::to_string(cell.fills),
+                     std::to_string(cell.admission_denials)});
     }
     table.print(std::cout);
     results.push_back(std::move(result));
@@ -178,17 +177,34 @@ int main() {
 
   // The acceptance gate: scenarios must actually change outcomes.  Judged
   // on the (LFU, always) cell — present in every scenario's sweep.
-  double lo = results.front().lfu_always_hit_ratio;
+  double lo = cell_hit_ratio(results.front(), "LFU", "always");
   double hi = lo;
   for (const auto& result : results) {
-    lo = std::min(lo, result.lfu_always_hit_ratio);
-    hi = std::max(hi, result.lfu_always_hit_ratio);
+    const double r = cell_hit_ratio(result, "LFU", "always");
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
   }
   const double spread = hi - lo;
   std::cout << "\nLFU/always hit-rate spread across scenarios: "
             << analysis::Table::num(spread, 3) << " (" <<
             analysis::Table::num(lo, 3) << " .. " << analysis::Table::num(hi, 3)
             << ")\n";
+
+  // The sketch-admission gate: on the flash crowd, TinyLFU must beat the
+  // second-hit probation under the same (LRU) eviction — see the header
+  // for why LRU is the scorer where a frequency gate earns its keep.
+  bool sketch_beats_second_hit = false;
+  bool saw_flash_crowd = false;
+  for (const auto& result : results) {
+    if (result.spec.name != "flash_crowd") continue;
+    saw_flash_crowd = true;
+    const double sketch = cell_hit_ratio(result, "LRU", "sketch-lfu");
+    const double second = cell_hit_ratio(result, "LRU", "second-hit");
+    sketch_beats_second_hit = sketch > second;
+    std::cout << "flash_crowd: LRU x sketch-lfu "
+              << analysis::Table::num(sketch, 3) << " vs LRU x second-hit "
+              << analysis::Table::num(second, 3) << '\n';
+  }
 
   const char* path_env = std::getenv("VODCACHE_SCENARIOS_JSON");
   const std::string path =
@@ -210,24 +226,33 @@ int main() {
         << ",\"headroom_fraction\":" << result.headroom_fraction
         << ",\"rows\":[";
     for (std::size_t j = 0; j < result.rows.size(); ++j) {
-      const auto& row = result.rows[j];
-      out << (j ? "," : "") << "{\"scorer\":\"" << row.scorer
-          << "\",\"admission\":\"" << row.admission
-          << "\",\"hit_ratio\":" << row.hit_ratio
-          << ",\"byte_hit_ratio\":" << row.byte_hit_ratio
-          << ",\"server_peak_gbps\":" << row.server_peak_gbps
-          << ",\"reduction_pct\":" << row.reduction_pct
-          << ",\"fills\":" << row.fills << ",\"evictions\":" << row.evictions
-          << ",\"admission_denials\":" << row.admission_denials << '}';
+      const auto& cell = result.rows[j];
+      const double byte_hit =
+          cell.hit_bits + cell.miss_bits > 0.0
+              ? cell.hit_bits / (cell.hit_bits + cell.miss_bits)
+              : 0.0;
+      out << (j ? "," : "") << "{\"scorer\":\"" << cell.scorer
+          << "\",\"admission\":\"" << cell.admission
+          << "\",\"hit_ratio\":" << cell.hit_ratio()
+          << ",\"byte_hit_ratio\":" << byte_hit
+          << ",\"fills\":" << cell.fills << ",\"evictions\":" << cell.evictions
+          << ",\"admission_denials\":" << cell.admission_denials << '}';
     }
     out << "]}";
   }
-  out << "],\"lfu_hit_rate_spread\":" << spread << "}\n";
+  out << "],\"lfu_hit_rate_spread\":" << spread
+      << ",\"flash_crowd_sketch_beats_second_hit\":"
+      << (sketch_beats_second_hit ? "true" : "false") << "}\n";
   std::cout << "wrote " << path << '\n';
 
   if (spread <= 0.0) {
     std::cerr << "FAIL: every scenario produced the same LFU hit rate — the "
                  "scenario adaptors changed nothing\n";
+    return 1;
+  }
+  if (saw_flash_crowd && !sketch_beats_second_hit) {
+    std::cerr << "FAIL: sketch-lfu did not beat second-hit on flash_crowd — "
+                 "the sketch gate is not earning its keep\n";
     return 1;
   }
   return 0;

@@ -1,5 +1,7 @@
 #include "cache/admission.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace vodcache::cache {
@@ -10,18 +12,19 @@ SecondHitPolicy::SecondHitPolicy(sim::SimTime probation_window)
 }
 
 void SecondHitPolicy::record_access(ProgramId program, sim::SimTime t) {
-  auto& entry = history_[program];
-  entry.previous = entry.last;
-  entry.last = t;
-  ++entry.count;
+  auto* entry = history_.find(program.value());
+  if (entry == nullptr) entry = &history_.insert(program.value(), History{});
+  entry->previous_ms = entry->last_ms;
+  entry->last_ms = t.millis_count();
+  ++entry->count;
 }
 
 bool SecondHitPolicy::admit(const AdmissionRequest& request) {
   // record_access for the current session already ran: `last` is the
   // current access, `previous` the one before it (if any).
-  const auto it = history_.find(request.program);
-  if (it == history_.end() || it->second.count < 2) return false;
-  return request.time - it->second.previous <= window_;
+  const auto* entry = history_.find(request.program.value());
+  if (entry == nullptr || entry->count < 2) return false;
+  return request.time - sim::SimTime::millis(entry->previous_ms) <= window_;
 }
 
 CoaxHeadroomPolicy::CoaxHeadroomPolicy(const hfc::CoaxSpec& spec,
@@ -32,6 +35,68 @@ CoaxHeadroomPolicy::CoaxHeadroomPolicy(const hfc::CoaxSpec& spec,
 
 bool CoaxHeadroomPolicy::admit(const AdmissionRequest& request) {
   return spec_.vod_headroom(request.coax_rate, fraction_);
+}
+
+SketchLFUPolicy::SketchLFUPolicy(std::uint32_t width, std::uint32_t depth,
+                                 std::uint64_t halve_period,
+                                 std::uint32_t min_estimate)
+    : sketch_(width, depth, halve_period), min_estimate_(min_estimate) {
+  VODCACHE_EXPECTS(min_estimate >= 1);
+}
+
+void SketchLFUPolicy::record_access(ProgramId program, sim::SimTime) {
+  sketch_.increment(program.value());
+}
+
+bool SketchLFUPolicy::admit(const AdmissionRequest& request) {
+  // record_access for the current session already ran, so a program's very
+  // first access reads estimate >= 1: min_estimate == 1 degenerates to
+  // always-admit, 2 behaves like a probation with geometric forgetting.
+  return sketch_.estimate(request.program.value()) >= min_estimate_;
+}
+
+AdaptiveHeadroomPolicy::AdaptiveHeadroomPolicy(const hfc::CoaxSpec& spec,
+                                               double initial_fraction,
+                                               sim::SimTime window,
+                                               double step)
+    : spec_(spec),
+      fraction_(initial_fraction),
+      window_(window),
+      step_(step),
+      window_end_(window) {
+  VODCACHE_EXPECTS(initial_fraction > 0.0 && initial_fraction <= 1.0);
+  VODCACHE_EXPECTS(window > sim::SimTime{});
+  VODCACHE_EXPECTS(step > 0.0 && step < 1.0);
+}
+
+void AdaptiveHeadroomPolicy::rotate(sim::SimTime t) {
+  while (t >= window_end_) {
+    // Empty windows (no segment finished) carry no signal: roll the
+    // boundary forward without moving the fraction or the reference rate.
+    if (window_segments_ > 0) {
+      const double rate = static_cast<double>(window_hits_) /
+                          static_cast<double>(window_segments_);
+      if (previous_rate_ >= 0.0 && rate < previous_rate_) {
+        direction_ = -direction_;
+      }
+      previous_rate_ = rate;
+      fraction_ = std::clamp(fraction_ + direction_ * step_, kMinFraction, 1.0);
+      window_segments_ = 0;
+      window_hits_ = 0;
+    }
+    window_end_ = window_end_ + window_;
+  }
+}
+
+bool AdaptiveHeadroomPolicy::admit(const AdmissionRequest& request) {
+  rotate(request.time);
+  return spec_.vod_headroom(request.coax_rate, fraction_);
+}
+
+void AdaptiveHeadroomPolicy::on_serve(bool hit, sim::SimTime t) {
+  rotate(t);
+  ++window_segments_;
+  if (hit) ++window_hits_;
 }
 
 }  // namespace vodcache::cache

@@ -15,10 +15,11 @@
 
 #include <cstdint>
 #include <string_view>
-#include <unordered_map>
 
+#include "cache/sketch.hpp"
 #include "hfc/topology.hpp"
 #include "sim/time.hpp"
+#include "util/flat_map.hpp"
 #include "util/ids.hpp"
 #include "util/units.hpp"
 
@@ -53,6 +54,12 @@ class AdmissionPolicy {
   // May `request.program`, missed at `request.time`, enter the cache?
   // Called only when the program is not already (being) cached.
   [[nodiscard]] virtual bool admit(const AdmissionRequest& request) = 0;
+
+  // Outcome feedback: one segment transmission finished at `t`, served by a
+  // peer (`hit`) or the upstream path.  Called once per segment, after the
+  // hit/miss classification — the closed loop self-tuning policies climb
+  // against.  Default: stateless policies ignore it.
+  virtual void on_serve(bool /*hit*/, sim::SimTime /*t*/) {}
 };
 
 // The paper's behaviour: every miss is a caching opportunity.  Composing
@@ -79,13 +86,17 @@ class SecondHitPolicy final : public AdmissionPolicy {
 
  private:
   struct History {
-    sim::SimTime last;      // most recent access (current session)
-    sim::SimTime previous;  // the access before it (valid when count >= 2)
+    std::int64_t last_ms = 0;      // most recent access (current session)
+    std::int64_t previous_ms = 0;  // the access before it (valid: count >= 2)
     std::uint64_t count = 0;
   };
 
   sim::SimTime window_;
-  std::unordered_map<ProgramId, History> history_;
+  // Flat table keyed by program id: the history is read once per session on
+  // the shard hot path, and shadow evaluation runs one instance per
+  // (scorer x admission) pair — node-based buckets would put pointer
+  // chasing and per-program heap nodes back into the audited loop.
+  util::FlatMap64<History> history_;
 };
 
 // Coax-headroom gate: refuses admission while the neighborhood coax is
@@ -110,6 +121,70 @@ class CoaxHeadroomPolicy final : public AdmissionPolicy {
  private:
   hfc::CoaxSpec spec_;
   double fraction_;
+};
+
+// TinyLFU-style sketch gate: a program is admitted once its count-min
+// sketch frequency estimate reaches `min_estimate`.  Like second-hit it
+// filters one-hit wonders, but its memory is O(width x depth) regardless
+// of catalog size, and the periodic halving ages popularity geometrically
+// instead of forgetting everything outside a fixed probation window — a
+// program re-accessed after a quiet day keeps the credit it has earned.
+class SketchLFUPolicy final : public AdmissionPolicy {
+ public:
+  SketchLFUPolicy(std::uint32_t width, std::uint32_t depth,
+                  std::uint64_t halve_period, std::uint32_t min_estimate);
+
+  [[nodiscard]] std::string_view name() const override { return "sketch-lfu"; }
+  void record_access(ProgramId program, sim::SimTime t) override;
+  [[nodiscard]] bool admit(const AdmissionRequest& request) override;
+
+  [[nodiscard]] const CountMinSketch& sketch() const { return sketch_; }
+
+ private:
+  CountMinSketch sketch_;
+  std::uint32_t min_estimate_;
+};
+
+// Self-tuning coax-headroom gate: same admission test as
+// CoaxHeadroomPolicy, but the fraction is not a fixed knob — it
+// hill-climbs.  Each rotation window accumulates the neighborhood's
+// hit/serve outcome feedback (on_serve); at the window boundary the climber
+// compares the window's hit rate against the previous window's, keeps its
+// direction while the rate improves, reverses when it degrades, and steps
+// the fraction.  Deterministic: driven purely by event-ordered feedback,
+// no clocks or randomness.
+class AdaptiveHeadroomPolicy final : public AdmissionPolicy {
+ public:
+  // Starts at `initial_fraction`, stepping by `step` per rotated `window`;
+  // the fraction is clamped to [kMinFraction, 1].
+  AdaptiveHeadroomPolicy(const hfc::CoaxSpec& spec, double initial_fraction,
+                         sim::SimTime window, double step);
+
+  static constexpr double kMinFraction = 0.05;
+
+  [[nodiscard]] std::string_view name() const override {
+    return "adaptive-headroom";
+  }
+  void record_access(ProgramId, sim::SimTime) override {}
+  [[nodiscard]] bool admit(const AdmissionRequest& request) override;
+  void on_serve(bool hit, sim::SimTime t) override;
+
+  [[nodiscard]] double fraction() const { return fraction_; }
+
+ private:
+  // Rotates every window boundary at or before `t` (events arrive in time
+  // order, so this touches each boundary exactly once).
+  void rotate(sim::SimTime t);
+
+  hfc::CoaxSpec spec_;
+  double fraction_;
+  sim::SimTime window_;
+  double step_;
+  sim::SimTime window_end_;
+  std::uint64_t window_segments_ = 0;
+  std::uint64_t window_hits_ = 0;
+  double previous_rate_ = -1.0;  // < 0: no completed window yet
+  double direction_ = 1.0;
 };
 
 }  // namespace vodcache::cache

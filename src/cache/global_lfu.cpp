@@ -9,6 +9,7 @@ namespace vodcache::cache {
 GlobalLfuStrategy::GlobalLfuStrategy(std::shared_ptr<PopularityBoard> board)
     : board_(std::move(board)) {
   VODCACHE_EXPECTS(board_ != nullptr);
+  reserve_for(board_->program_count());
   if (board_->lag() == sim::SimTime{}) {
     // Live mode: mark cached programs dirty when any neighborhood changes
     // their global count; re-ranking happens at the next victim decision.
@@ -24,6 +25,7 @@ GlobalLfuStrategy::GlobalLfuStrategy(std::shared_ptr<const ReplayBoard> board,
     : replay_(std::move(board)), clock_(clock) {
   VODCACHE_EXPECTS(replay_ != nullptr);
   VODCACHE_EXPECTS(clock_ != nullptr);
+  reserve_for(replay_->program_count());
   ReplayCursor::ChangeCallback on_change;
   if (replay_->lag() == sim::SimTime{}) {
     on_change = [this](ProgramId program) { mark_dirty(program); };
@@ -35,17 +37,33 @@ sim::SimTime GlobalLfuStrategy::lag() const {
   return board_ != nullptr ? board_->lag() : replay_->lag();
 }
 
+void GlobalLfuStrategy::reserve_for(std::size_t program_count) {
+  last_access_.reserve(program_count);
+  local_since_snapshot_.reserve(program_count);
+  dirty_flag_.resize(program_count, 0);
+}
+
 void GlobalLfuStrategy::mark_dirty(ProgramId program) {
-  if (is_cached(program)) dirty_.insert(program);
+  if (!is_cached(program)) return;
+  if (program.value() >= dirty_flag_.size()) {
+    dirty_flag_.resize(program.value() + 1, 0);
+  }
+  if (dirty_flag_[program.value()] != 0) return;
+  dirty_flag_[program.value()] = 1;
+  dirty_list_.push_back(program);
 }
 
 void GlobalLfuStrategy::rerank_dirty(sim::SimTime t) {
-  if (dirty_.empty()) return;
-  // Re-score on a drained copy: scoring can advance the live board, whose
-  // notifications would otherwise insert into the set mid-iteration.
-  const std::unordered_set<ProgramId> pending = std::move(dirty_);
-  dirty_.clear();
-  for (const ProgramId program : pending) {
+  if (dirty_list_.empty()) return;
+  // Re-score on a drained copy: scoring can advance the live board (or the
+  // replay cursor), whose notifications would otherwise append to the list
+  // mid-iteration.  swap() recycles both buffers at their high-water marks.
+  rerank_scratch_.clear();
+  rerank_scratch_.swap(dirty_list_);
+  for (const ProgramId program : rerank_scratch_) {
+    dirty_flag_[program.value()] = 0;
+  }
+  for (const ProgramId program : rerank_scratch_) {
     if (is_cached(program)) cached().update(program, score(program, t));
   }
 }
@@ -80,20 +98,25 @@ void GlobalLfuStrategy::refresh(sim::SimTime t) {
   // A new global batch arrived: local deltas are folded into it; re-rank
   // everything we hold.
   local_since_snapshot_.clear();
-  for (const ProgramId program : cached().programs()) {
-    cached().update(program, score(program, t));
-  }
+  cached().for_each_program(
+      [&](ProgramId program) { cached().update(program, score(program, t)); });
 }
 
 void GlobalLfuStrategy::record_access(ProgramId program, sim::SimTime t) {
   refresh(t);
-  last_access_[program] = next_sequence();
+  std::int64_t* seq = last_access_.find(program.value());
+  if (seq == nullptr) seq = &last_access_.insert(program.value(), 0);
+  *seq = next_sequence();
   if (board_ != nullptr) {
     board_->record(program, t);
   } else {
     cursor_->ingest_local(program, t, clock_->visible);
   }
-  if (lag() > sim::SimTime{}) ++local_since_snapshot_[program];
+  if (lag() > sim::SimTime{}) {
+    std::int64_t* delta = local_since_snapshot_.find(program.value());
+    if (delta == nullptr) delta = &local_since_snapshot_.insert(program.value(), 0);
+    ++*delta;
+  }
   cached().update(program, score(program, t));
 }
 
@@ -105,12 +128,12 @@ std::int64_t GlobalLfuStrategy::global_count(ProgramId program,
 }
 
 Score GlobalLfuStrategy::score(ProgramId program, sim::SimTime t) {
-  const auto last = last_access_.find(program);
-  const std::int64_t seq = last == last_access_.end() ? 0 : last->second;
+  const std::int64_t* last = last_access_.find(program.value());
+  const std::int64_t seq = last == nullptr ? 0 : *last;
   std::int64_t count = global_count(program, t);
   if (lag() > sim::SimTime{}) {
-    const auto it = local_since_snapshot_.find(program);
-    if (it != local_since_snapshot_.end()) count += it->second;
+    const std::int64_t* delta = local_since_snapshot_.find(program.value());
+    if (delta != nullptr) count += *delta;
   }
   return {count, seq};
 }

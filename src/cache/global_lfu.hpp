@@ -21,12 +21,12 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 #include "cache/popularity_board.hpp"
 #include "cache/strategy.hpp"
 #include "sim/replay_clock.hpp"
+#include "util/flat_map.hpp"
 
 namespace vodcache::cache {
 
@@ -50,6 +50,7 @@ class GlobalLfuStrategy final : public ScoredStrategy {
   void refresh(sim::SimTime t) override;
   [[nodiscard]] sim::SimTime lag() const;
   [[nodiscard]] std::int64_t global_count(ProgramId program, sim::SimTime t);
+  void reserve_for(std::size_t program_count);
   void mark_dirty(ProgramId program);
   void rerank_dirty(sim::SimTime t);
   // True when a new global snapshot became visible since the last refresh
@@ -63,14 +64,21 @@ class GlobalLfuStrategy final : public ScoredStrategy {
   const sim::ReplayClock* clock_ = nullptr;
   std::unique_ptr<ReplayCursor> cursor_;
 
-  std::unordered_map<ProgramId, std::int64_t> last_access_;
+  // Flat and pre-sized for the catalog: the record path must not allocate
+  // in steady state (the zero-alloc audit covers shadow GlobalLFUs riding
+  // the shard hot path).
+  util::FlatMap64<std::int64_t> last_access_;
   // lag > 0 only: local accesses since the snapshot we last saw.
-  std::unordered_map<ProgramId, std::int64_t> local_since_snapshot_;
+  util::FlatMap64<std::int64_t> local_since_snapshot_;
   std::uint64_t seen_epoch_ = 0;
   // lag == 0 only: cached programs whose global count changed since the
   // last refresh.  Re-ranking is deferred to the next victim decision so a
-  // burst of remote accesses costs one update, not one per access.
-  std::unordered_set<ProgramId> dirty_;
+  // burst of remote accesses costs one update, not one per access.  A flat
+  // dedup set — per-program flag plus a compact list — whose buffers (and
+  // the rerank scratch they swap with) recycle at their high-water marks.
+  std::vector<std::uint8_t> dirty_flag_;
+  std::vector<ProgramId> dirty_list_;
+  std::vector<ProgramId> rerank_scratch_;
   sim::SimTime dirty_time_;
 };
 

@@ -14,26 +14,28 @@ OracleStrategy::OracleStrategy(const FutureIndex& future, sim::SimTime lookahead
   // query behind the full pass.  count_in() still asserts frozen at use.
   VODCACHE_EXPECTS(lookahead > sim::SimTime{});
   VODCACHE_EXPECTS(refresh_interval > sim::SimTime{});
+  last_access_.reserve(future.program_count());
 }
 
 void OracleStrategy::refresh(sim::SimTime t) {
   if (t < next_refresh_) return;
   next_refresh_ = t + refresh_interval_;
-  for (const ProgramId program : cached().programs()) {
-    cached().update(program, score(program, t));
-  }
+  cached().for_each_program(
+      [&](ProgramId program) { cached().update(program, score(program, t)); });
 }
 
 void OracleStrategy::record_access(ProgramId program, sim::SimTime t) {
   refresh(t);
-  last_access_[program] = next_sequence();
+  std::int64_t* seq = last_access_.find(program.value());
+  if (seq == nullptr) seq = &last_access_.insert(program.value(), 0);
+  *seq = next_sequence();
   cached().update(program, score(program, t));
 }
 
 Score OracleStrategy::score(ProgramId program, sim::SimTime t) {
-  const auto it = last_access_.find(program);
-  const std::int64_t seq = it == last_access_.end() ? 0 : it->second;
-  return {future_.count_in(program, t, lookahead_), seq};
+  const std::int64_t* seq = last_access_.find(program.value());
+  return {future_.count_in(program, t, lookahead_),
+          seq == nullptr ? 0 : *seq};
 }
 
 }  // namespace vodcache::cache

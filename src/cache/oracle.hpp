@@ -15,6 +15,7 @@
 
 #include "cache/future_index.hpp"
 #include "cache/strategy.hpp"
+#include "util/flat_map.hpp"
 
 namespace vodcache::cache {
 
@@ -36,7 +37,10 @@ class OracleStrategy final : public ScoredStrategy {
   sim::SimTime lookahead_;
   sim::SimTime refresh_interval_;
   sim::SimTime next_refresh_;
-  std::unordered_map<ProgramId, std::int64_t> last_access_;
+  // Recency sequence per program, flat and pre-sized for the catalog so
+  // the record path never allocates (the zero-alloc audit covers shadow
+  // oracles riding the shard hot path).
+  util::FlatMap64<std::int64_t> last_access_;
 };
 
 }  // namespace vodcache::cache

@@ -45,6 +45,18 @@ class CachedSet {
 
   [[nodiscard]] std::vector<ProgramId> programs() const;
 
+  // Visits every cached program in slot order (the same order programs()
+  // returns) without materializing a vector — scorers that re-rank the
+  // whole cached set call this from their refresh hot path, where
+  // programs()'s allocation would break the zero-alloc audit.  The visitor
+  // may update() scores during the visit (no insert/erase).
+  template <typename Fn>
+  void for_each_program(Fn&& fn) const {
+    by_program_.for_each([&fn](std::uint64_t key, const Score&) {
+      fn(ProgramId{static_cast<std::uint32_t>(key)});
+    });
+  }
+
  private:
   // Min-heap entry; ties in score break toward the smaller program id,
   // matching the ordered-set index this replaced.

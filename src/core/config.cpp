@@ -43,6 +43,14 @@ void SystemConfig::validate() const {
   VODCACHE_EXPECTS(admission_policy.probation_window >= sim::SimTime{});
   VODCACHE_EXPECTS(admission_policy.headroom_fraction > 0.0 &&
                    admission_policy.headroom_fraction <= 1.0);
+  VODCACHE_EXPECTS(admission_policy.sketch_width > 0);
+  VODCACHE_EXPECTS(admission_policy.sketch_depth > 0 &&
+                   admission_policy.sketch_depth <= 16);
+  VODCACHE_EXPECTS(admission_policy.sketch_halve_period > 0);
+  VODCACHE_EXPECTS(admission_policy.sketch_min_estimate >= 1);
+  VODCACHE_EXPECTS(admission_policy.adapt_window > sim::SimTime{});
+  VODCACHE_EXPECTS(admission_policy.adapt_step > 0.0 &&
+                   admission_policy.adapt_step < 1.0);
   VODCACHE_EXPECTS(warmup >= sim::SimTime{});
   VODCACHE_EXPECTS(threads >= 1);
   VODCACHE_EXPECTS(stream_chunk > sim::SimTime{});

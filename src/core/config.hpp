@@ -38,6 +38,12 @@ enum class AdmissionKind {
   SecondHit,
   // Refuse admission while the neighborhood coax is near its cap.
   CoaxHeadroom,
+  // TinyLFU: admit when a count-min-sketch frequency estimate clears the
+  // threshold (O(1) memory, geometric aging via periodic halving).
+  SketchLfu,
+  // Coax-headroom whose fraction hill-climbs per rotation window against
+  // the neighborhood's own hit-rate feedback.
+  AdaptiveHeadroom,
 };
 
 [[nodiscard]] const char* to_string(AdmissionKind kind);
@@ -100,8 +106,24 @@ struct AdmissionPolicyConfig {
   sim::SimTime probation_window = sim::SimTime::hours(24);
   // CoaxHeadroom: admission is refused once the coax bucket rate reaches
   // this fraction of the plant's available downstream band
-  // (CoaxSpec::available_low, the conservative figure).
+  // (CoaxSpec::available_low, the conservative figure).  AdaptiveHeadroom
+  // starts its climb from the same value.
   double headroom_fraction = 0.9;
+  // SketchLfu: count-min sketch geometry, the halving (decay) period in
+  // recorded accesses, and the estimate a program needs to be admitted.
+  // The short default halving period makes the sketch a *sliding-window*
+  // frequency estimate: a flash crowd blasts past the threshold within
+  // seconds, while a program whose accesses trickle in slower than the
+  // decay never accumulates enough — a sharper filter than second-hit's
+  // fixed probation window (bench_scenarios gates on exactly that, under
+  // LRU eviction, where churn protection actually pays).
+  std::uint32_t sketch_width = 1024;
+  std::uint32_t sketch_depth = 4;
+  std::uint64_t sketch_halve_period = 256;
+  std::uint32_t sketch_min_estimate = 2;
+  // AdaptiveHeadroom: hill-climb rotation window and per-window step.
+  sim::SimTime adapt_window = sim::SimTime::hours(6);
+  double adapt_step = 0.05;
 };
 
 struct SystemConfig {
@@ -150,6 +172,13 @@ struct SystemConfig {
   // Which misses may enter the cache at all (composes with any strategy;
   // Always reproduces the paper).
   AdmissionPolicyConfig admission_policy;
+
+  // Shadow evaluation: every registered (scorer x admission) pair keeps its
+  // own cached-set bookkeeping against the same session stream, emitting
+  // the full policy matrix from one pass (report.shadow_matrix).  Shadows
+  // move no bytes and touch no meters, so the primary policy's report is
+  // byte-identical to a run with this off.
+  bool shadow_matrix = false;
 
   // Evening peak window used for all reported statistics (see DESIGN.md on
   // the paper's 7-11 PM / "three hour period" ambiguity).

@@ -177,6 +177,7 @@ ServeResult IndexServer::serve_segment(PeerId viewer, cache::SegmentKey key,
       ++counters_.hits;
       counters_.hit_bits += bits;
       peer_meter_.add(interval, rate);
+      if (admission_ != nullptr) admission_->on_serve(true, interval.begin);
       return ServeResult::PeerHit;
     }
   }
@@ -188,6 +189,7 @@ ServeResult IndexServer::serve_segment(PeerId viewer, cache::SegmentKey key,
     ++counters_.cold_misses;
   }
   counters_.miss_bits += bits;
+  if (admission_ != nullptr) admission_->on_serve(false, interval.begin);
 
   // Multi-tier walk: the lowest tier node holding the program absorbs the
   // miss; only a full walk-through reaches the origin.  tiers_ == nullptr

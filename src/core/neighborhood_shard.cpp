@@ -23,6 +23,7 @@ NeighborhoodShard::NeighborhoodShard(
               horizon, tiers, std::move(tier_nodes)),
       failures_(std::move(failures)) {
   VODCACHE_EXPECTS(future_ != nullptr);
+  if (config_.shadow_matrix) shadow_ = make_shadow_bank(peer_count);
 }
 
 std::unique_ptr<cache::EvictionScorer> NeighborhoodShard::make_scorer() {
@@ -37,11 +38,43 @@ std::unique_ptr<cache::AdmissionPolicy> NeighborhoodShard::make_admission() {
   return admission_entry(config_.admission_policy.kind).make(config_);
 }
 
+std::unique_ptr<cache::ShadowBank> NeighborhoodShard::make_shadow_bank(
+    std::uint32_t peer_count) {
+  // Every pair shares this shard's scorer context: GlobalLFU shadows read
+  // the same replay board through the same clock, Oracle shadows the same
+  // future index — the orchestrator's prepass gating covers them because
+  // PrepassNeeds treats shadow_matrix like running those strategies.
+  const ScorerContext context{config_.strategy, catalog_, future_, board_,
+                              &clock_};
+  std::vector<cache::ShadowBank::PairSpec> pairs;
+  for (const auto& scorer : scorer_registry()) {
+    if (scorer.kind == StrategyKind::None) continue;
+    for (const auto& admission : admission_registry()) {
+      cache::ShadowBank::PairSpec pair;
+      pair.scorer_display = scorer.display;
+      pair.admission_display = admission.display;
+      pair.scorer = scorer.make(context);
+      pair.admission = admission.make(config_);
+      pairs.push_back(std::move(pair));
+    }
+  }
+  cache::ShadowBank::Settings settings;
+  settings.whole_program = config_.admission == CacheAdmission::WholeProgram;
+  settings.replicate_on_busy = config_.replicate_on_busy;
+  settings.peer_stream_limit = config_.peer_stream_limit;
+  settings.stream_rate = config_.stream_rate;
+  settings.per_peer_storage = config_.per_peer_storage;
+  return std::make_unique<cache::ShadowBank>(std::move(pairs), settings,
+                                             peer_count,
+                                             &server_.coax_meter());
+}
+
 void NeighborhoodShard::apply_failures(sim::SimTime now) {
   while (next_failure_ < failures_.size() &&
          failures_[next_failure_].time <= now) {
     for (const PeerId peer : failures_[next_failure_].peers) {
       server_.fail_peer(peer);
+      if (shadow_ != nullptr) shadow_->fail_peer(peer);
     }
     ++next_failure_;
   }
@@ -70,6 +103,7 @@ std::uint32_t NeighborhoodShard::assign_slot(const StreamSession& session) {
     slot_program_.push_back(0);
     slot_viewer_.push_back(0);
     slot_admit_.push_back(0);
+    slot_shadow_admit_.push_back(0);
   }
   const auto& record = session.record;
   const std::int64_t start_ms = record.start.millis_count();
@@ -81,6 +115,7 @@ std::uint32_t NeighborhoodShard::assign_slot(const StreamSession& session) {
   slot_program_[slot] = record.program.value();
   slot_viewer_[slot] = session.viewer.value();
   slot_admit_[slot] = 0;
+  slot_shadow_admit_[slot] = 0;
   return slot;
 }
 
@@ -99,15 +134,22 @@ void NeighborhoodShard::generate_boundaries(std::uint32_t slot,
 void NeighborhoodShard::start_session(const StreamSession& stream_session,
                                       std::uint32_t slot) {
   const auto& record = stream_session.record;
-  const bool admit = server_.start_session(
-      record.program,
-      catalog_.program_size(record.program, config_.stream_rate),
-      record.start);
+  const DataSize program_size =
+      catalog_.program_size(record.program, config_.stream_rate);
+  const bool admit =
+      server_.start_session(record.program, program_size, record.start);
   slot_admit_[slot] = admit ? 1 : 0;
+  if (shadow_ != nullptr) {
+    slot_shadow_admit_[slot] =
+        shadow_->start_session(record.program, program_size, record.start);
+  }
 
-  server_.occupy_viewer_slot(
-      stream_session.viewer,
-      {record.start, sim::SimTime::millis(slot_end_ms_[slot])});
+  const sim::Interval playback{record.start,
+                               sim::SimTime::millis(slot_end_ms_[slot])};
+  server_.occupy_viewer_slot(stream_session.viewer, playback);
+  if (shadow_ != nullptr) {
+    shadow_->occupy_viewer_slot(stream_session.viewer, playback);
+  }
 
   play_segment(slot, record.start);
 }
@@ -137,6 +179,11 @@ void NeighborhoodShard::play_segment(std::uint32_t slot, sim::SimTime at) {
   server_.serve_segment(PeerId{slot_viewer_[slot]},
                         cache::SegmentKey{program, segment_index},
                         {at, tx_end}, slot_admit_[slot] != 0, full_slice);
+  if (shadow_ != nullptr) {
+    shadow_->serve_segment(PeerId{slot_viewer_[slot]},
+                           cache::SegmentKey{program, segment_index},
+                           {at, tx_end}, slot_shadow_admit_[slot], full_slice);
+  }
 
   if (tx_end >= end) {
     // Final slice: the session is over.  The slot returns to the freelist

@@ -51,6 +51,7 @@
 
 #include "cache/future_index.hpp"
 #include "cache/popularity_board.hpp"
+#include "cache/shadow_bank.hpp"
 #include "core/config.hpp"
 #include "core/index_server.hpp"
 #include "core/media_server.hpp"
@@ -128,6 +129,10 @@ class NeighborhoodShard {
   [[nodiscard]] NeighborhoodId id() const { return server_.id(); }
   [[nodiscard]] const IndexServer& index_server() const { return server_; }
   [[nodiscard]] const MediaServer& media_server() const { return media_; }
+  // Null unless SystemConfig::shadow_matrix is on.
+  [[nodiscard]] const cache::ShadowBank* shadow_bank() const {
+    return shadow_.get();
+  }
 
  private:
   // A segment boundary due within the current batch.  Sorted by
@@ -160,6 +165,10 @@ class NeighborhoodShard {
   // and admission kinds, this shard's context).
   [[nodiscard]] std::unique_ptr<cache::EvictionScorer> make_scorer();
   [[nodiscard]] std::unique_ptr<cache::AdmissionPolicy> make_admission();
+  // Shadow-matrix mode: one shadow per registered (scorer x admission)
+  // pair, scorer-major in registry order, StrategyKind::None skipped.
+  [[nodiscard]] std::unique_ptr<cache::ShadowBank> make_shadow_bank(
+      std::uint32_t peer_count);
 
   const trace::Catalog& catalog_;
   const SystemConfig& config_;
@@ -171,6 +180,9 @@ class NeighborhoodShard {
 
   MediaServer media_;
   IndexServer server_;
+  // Shadow-matrix mode only (null otherwise).  Must follow server_: the
+  // bank's headroom-gated shadows read the primary's coax meter.
+  std::unique_ptr<cache::ShadowBank> shadow_;
 
   // Session slots, structure-of-arrays.  A free slot holds kFreeSlot in
   // its start lane; live slots keep the next boundary still to generate in
@@ -185,6 +197,9 @@ class NeighborhoodShard {
   std::vector<std::uint32_t> slot_program_;
   std::vector<std::uint32_t> slot_viewer_;
   std::vector<std::uint8_t> slot_admit_;
+  // Shadow-matrix mode: bit p is shadow pair p's admit decision for the
+  // session in this slot (ShadowBank::kMaxPairs bounds the matrix at 64).
+  std::vector<std::uint64_t> slot_shadow_admit_;
   std::vector<std::uint32_t> free_slots_;
 
   // Per-feed scratch (high-water capacity, reused every batch).

@@ -81,6 +81,21 @@ std::unique_ptr<cache::AdmissionPolicy> make_coax_headroom(
       config.coax, config.admission_policy.headroom_fraction);
 }
 
+std::unique_ptr<cache::AdmissionPolicy> make_sketch_lfu(
+    const SystemConfig& config) {
+  const auto& p = config.admission_policy;
+  return std::make_unique<cache::SketchLFUPolicy>(
+      p.sketch_width, p.sketch_depth, p.sketch_halve_period,
+      p.sketch_min_estimate);
+}
+
+std::unique_ptr<cache::AdmissionPolicy> make_adaptive_headroom(
+    const SystemConfig& config) {
+  const auto& p = config.admission_policy;
+  return std::make_unique<cache::AdaptiveHeadroomPolicy>(
+      config.coax, p.headroom_fraction, p.adapt_window, p.adapt_step);
+}
+
 constexpr AdmissionEntry kAdmissions[] = {
     {AdmissionKind::Always, "always", "always",
      "every miss may enter the cache (the paper's behaviour)", make_always},
@@ -90,6 +105,12 @@ constexpr AdmissionEntry kAdmissions[] = {
     {AdmissionKind::CoaxHeadroom, "coax-headroom", "coax-headroom",
      "refuse admission while the neighborhood coax is near its cap",
      make_coax_headroom},
+    {AdmissionKind::SketchLfu, "sketch-lfu", "sketch-lfu",
+     "TinyLFU: admit when the count-min-sketch estimate clears a threshold",
+     make_sketch_lfu},
+    {AdmissionKind::AdaptiveHeadroom, "adaptive-headroom", "adaptive-headroom",
+     "coax-headroom whose fraction hill-climbs against the live hit rate",
+     make_adaptive_headroom},
 };
 
 std::unique_ptr<PrefetchPolicy> make_no_prefetch(const SystemConfig&) {

@@ -61,6 +61,16 @@ std::string SimulationReport::to_string() const {
     out << "  total_cost=" << total_transfer_cost
         << " cache_hit_ratio=" << cache_hit_ratio() << '\n';
   }
+  if (!shadow_matrix.empty()) {
+    out << "shadow matrix (" << shadow_matrix.size() << " pairs):\n";
+    for (const auto& cell : shadow_matrix) {
+      out << "  " << cell.scorer << " x " << cell.admission
+          << ": hits=" << cell.hits << " cold=" << cell.cold_misses
+          << " busy=" << cell.busy_misses << " denials="
+          << cell.admission_denials << " hit_ratio=" << cell.hit_ratio()
+          << '\n';
+    }
+  }
   return out.str();
 }
 

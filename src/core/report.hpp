@@ -47,6 +47,31 @@ struct TierUsageReport {
   double cost = 0.0;
 };
 
+// One cell of the shadow-matrix breakdown: the counters a standalone run
+// of (scorer x admission) would have produced, measured by that pair's
+// shadow cache riding the single shadow-matrix pass (pinned against real
+// standalone runs in tests/shadow_bank_test.cpp).
+struct ShadowCellReport {
+  std::string scorer;
+  std::string admission;
+  std::uint64_t sessions = 0;
+  std::uint64_t segments = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t cold_misses = 0;
+  std::uint64_t busy_misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t fills = 0;
+  std::uint64_t admission_denials = 0;
+  double hit_bits = 0.0;
+  double miss_bits = 0.0;
+
+  [[nodiscard]] double hit_ratio() const {
+    const std::uint64_t total = hits + cold_misses + busy_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
 struct SimulationReport {
   // Central server load during the peak window: the paper's headline
   // metric ("Average Server Rate (Gb/s)" with 5%/95% error bars).
@@ -83,6 +108,13 @@ struct SimulationReport {
   std::vector<TierUsageReport> tiers;
   // Sum of the rows' costs; only meaningful when `tiers` is non-empty.
   double total_transfer_cost = 0.0;
+
+  // Shadow-matrix breakdown, scorer-major in registry order.  Empty — and
+  // absent from both serializations — unless SystemConfig::shadow_matrix
+  // is on, so default reports keep their bytes (same gate discipline as
+  // `tiers`).  The primary's own fields above are untouched by shadow
+  // mode by construction (pinned in tests/shadow_bank_test.cpp).
+  std::vector<ShadowCellReport> shadow_matrix;
 
   // Echo of the run setup.
   std::uint32_t neighborhood_count = 0;

@@ -86,6 +86,29 @@ void write_json(const SimulationReport& report, std::ostream& out,
     out << ']';
   }
 
+  // Same gate discipline as `tiers`: only shadow-matrix runs carry the
+  // section, so every other report keeps its exact bytes.
+  if (!report.shadow_matrix.empty()) {
+    out << ",\"shadow_matrix\":[";
+    for (std::size_t i = 0; i < report.shadow_matrix.size(); ++i) {
+      const auto& cell = report.shadow_matrix[i];
+      out << (i ? "," : "") << "{\"scorer\":\"" << cell.scorer << "\","
+          << "\"admission\":\"" << cell.admission << "\","
+          << "\"sessions\":" << cell.sessions << ","
+          << "\"segments\":" << cell.segments << ","
+          << "\"hits\":" << cell.hits << ","
+          << "\"cold_misses\":" << cell.cold_misses << ","
+          << "\"busy_misses\":" << cell.busy_misses << ","
+          << "\"evictions\":" << cell.evictions << ","
+          << "\"fills\":" << cell.fills << ","
+          << "\"admission_denials\":" << cell.admission_denials << ","
+          << "\"hit_bits\":" << cell.hit_bits << ","
+          << "\"miss_bits\":" << cell.miss_bits << ","
+          << "\"hit_ratio\":" << cell.hit_ratio() << '}';
+    }
+    out << ']';
+  }
+
   if (include_neighborhoods) {
     out << ",\"neighborhoods\":[";
     for (std::size_t i = 0; i < report.neighborhoods.size(); ++i) {

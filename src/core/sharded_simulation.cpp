@@ -41,8 +41,13 @@ ShardedSimulation::PrepassNeeds ShardedSimulation::needs() const {
   // Each requirement needs whole-trace knowledge before the replay;
   // everything else streams in a single pass.
   PrepassNeeds need;
-  need.board = config_.strategy.kind == StrategyKind::GlobalLfu;
-  need.future = config_.strategy.kind == StrategyKind::Oracle;
+  // Shadow-matrix mode instantiates *every* registered scorer, so the
+  // GlobalLFU board and Oracle future index must exist whatever the
+  // primary strategy is.
+  need.board = config_.strategy.kind == StrategyKind::GlobalLfu ||
+               config_.shadow_matrix;
+  need.future = config_.strategy.kind == StrategyKind::Oracle ||
+                config_.shadow_matrix;
   need.flush = !config_.peer_failures.empty();
   // Tier prefetch plans are whole-trace knowledge too: a no-op prefetch
   // (None) or all-zero tier capacities leaves every plan empty, so those
@@ -522,6 +527,40 @@ SimulationReport ShardedSimulation::build_report(
     pooled_coax.insert(pooled_coax.end(), samples.begin(), samples.end());
   }
   report.coax_peak_pooled = sim::peak_stats(pooled_coax);
+
+  // Shadow-matrix reduction: sum each pair's counters across shards in
+  // shard order (fixed order keeps the bit sums bit-identical across
+  // thread counts, same rule as every other merge).  Every shard built
+  // its bank from the same registry walk, so pair p means the same
+  // (scorer x admission) everywhere.
+  if (config_.shadow_matrix && !shards_.empty()) {
+    const cache::ShadowBank* first = shards_.front()->shadow_bank();
+    VODCACHE_ASSERT(first != nullptr);
+    report.shadow_matrix.resize(first->pair_count());
+    for (std::size_t p = 0; p < first->pair_count(); ++p) {
+      report.shadow_matrix[p].scorer = first->scorer_name(p);
+      report.shadow_matrix[p].admission = first->admission_name(p);
+    }
+    for (const auto& shard : shards_) {
+      const cache::ShadowBank* bank = shard->shadow_bank();
+      VODCACHE_ASSERT(bank != nullptr &&
+                      bank->pair_count() == report.shadow_matrix.size());
+      for (std::size_t p = 0; p < bank->pair_count(); ++p) {
+        const auto& c = bank->counters(p);
+        auto& cell = report.shadow_matrix[p];
+        cell.sessions += c.sessions;
+        cell.segments += c.segments;
+        cell.hits += c.hits;
+        cell.cold_misses += c.cold_misses;
+        cell.busy_misses += c.busy_misses;
+        cell.evictions += c.evictions;
+        cell.fills += c.fills;
+        cell.admission_denials += c.admission_denials;
+        cell.hit_bits += c.hit_bits;
+        cell.miss_bits += c.miss_bits;
+      }
+    }
+  }
 
   // Tiered breakdown: per-level hits/bits reduced across shards in shard
   // order (same fixed-order rule as every other merge), then the request

@@ -55,6 +55,13 @@ class FlatMap64 {
     if (needed > capacity()) rehash(needed);
   }
 
+  // Removes every entry while keeping the slot arrays at their high-water
+  // capacity, so a post-clear refill is allocation-free.
+  void clear() {
+    if (!used_.empty()) std::memset(used_.data(), 0, used_.size());
+    size_ = 0;
+  }
+
   [[nodiscard]] V* find(std::uint64_t key) {
     if (size_ == 0) return nullptr;
     for (std::size_t i = ideal_slot(key);; i = next_slot(i)) {

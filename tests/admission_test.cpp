@@ -90,6 +90,80 @@ TEST(CoaxSpec, VodHeadroomQuery) {
   EXPECT_FALSE(spec.vod_headroom(DataRate::gigabits_per_second(0.2), 0.1));
 }
 
+// ------------------------------------------------------------ sketch-lfu
+
+TEST(SketchLFUPolicy, AdmitsOnceEstimateReachesThreshold) {
+  cache::SketchLFUPolicy policy(1024, 4, 1ull << 40, 3);
+  policy.record_access(ProgramId{7}, at_hours(1));
+  EXPECT_FALSE(policy.admit(request(7, at_hours(1))));
+  policy.record_access(ProgramId{7}, at_hours(2));
+  EXPECT_FALSE(policy.admit(request(7, at_hours(2))));
+  policy.record_access(ProgramId{7}, at_hours(3));
+  EXPECT_TRUE(policy.admit(request(7, at_hours(3))));
+  // An untouched program stays refused whatever program 7 accumulated.
+  EXPECT_FALSE(policy.admit(request(8, at_hours(3))));
+}
+
+TEST(SketchLFUPolicy, HalvingRevokesDecayedCredit) {
+  // Period 8: the 4 accesses of program 1 decay to 0 across the halvings
+  // driven by the sustained traffic for program 2 — re-probation through
+  // geometric aging, where second-hit would have admitted program 1 on any
+  // two close accesses.
+  cache::SketchLFUPolicy policy(1024, 4, 8, 2);
+  for (int i = 0; i < 4; ++i) policy.record_access(ProgramId{1}, at_hours(1));
+  EXPECT_TRUE(policy.admit(request(1, at_hours(1))));
+  for (int i = 0; i < 64; ++i) policy.record_access(ProgramId{2}, at_hours(2));
+  EXPECT_FALSE(policy.admit(request(1, at_hours(2))));
+  EXPECT_TRUE(policy.admit(request(2, at_hours(2))));
+}
+
+// ----------------------------------------------------- adaptive-headroom
+
+TEST(AdaptiveHeadroomPolicy, GatesLikeCoaxHeadroomAtItsCurrentFraction) {
+  hfc::CoaxSpec spec;  // available_low = 1.6 Gb/s
+  cache::AdaptiveHeadroomPolicy policy(spec, 0.5, at_hours(6), 0.05);
+  EXPECT_DOUBLE_EQ(policy.fraction(), 0.5);
+  EXPECT_TRUE(policy.admit(
+      request(0, at_hours(1), DataRate::megabits_per_second(700))));
+  EXPECT_FALSE(policy.admit(
+      request(0, at_hours(1), DataRate::megabits_per_second(800))));
+}
+
+TEST(AdaptiveHeadroomPolicy, ClimbsWhileHitRateImprovesAndReverses) {
+  hfc::CoaxSpec spec;
+  cache::AdaptiveHeadroomPolicy policy(spec, 0.5, at_hours(1), 0.1);
+
+  // Window 1 (rate 0.5; no previous window to compare against).
+  policy.on_serve(true, at_hours(0));
+  policy.on_serve(false, at_hours(0));
+  // First completed window: nothing to reverse against, so the climber
+  // takes its optimistic first step upward.
+  policy.on_serve(true, at_hours(1));
+  EXPECT_DOUBLE_EQ(policy.fraction(), 0.6);
+  policy.on_serve(true, at_hours(1));  // window 2 rate: 1.0
+
+  // Window 2 -> 3: rate improved (1.0 > 0.5): keep direction, step up.
+  policy.on_serve(false, at_hours(2));
+  EXPECT_DOUBLE_EQ(policy.fraction(), 0.7);
+  policy.on_serve(false, at_hours(2));  // window 3 rate: 0.0
+
+  // Window 3 -> 4: rate degraded (0.0 < 1.0): reverse, step down.
+  policy.on_serve(true, at_hours(3));
+  EXPECT_DOUBLE_EQ(policy.fraction(), 0.6);
+}
+
+TEST(AdaptiveHeadroomPolicy, FractionStaysClamped) {
+  hfc::CoaxSpec spec;
+  cache::AdaptiveHeadroomPolicy policy(spec, 0.1, at_hours(1), 0.2);
+  // Drive the climber downward: every window's rate is worse than a
+  // perfect first window, so after the first reversal it keeps falling —
+  // but never through the floor.
+  policy.on_serve(true, at_hours(0));
+  for (int h = 1; h < 12; ++h) policy.on_serve(false, at_hours(h));
+  EXPECT_GE(policy.fraction(), cache::AdaptiveHeadroomPolicy::kMinFraction);
+  EXPECT_LE(policy.fraction(), 1.0);
+}
+
 // ------------------------------------------------- index-server gating
 
 SystemConfig gated_config() {

@@ -51,10 +51,37 @@ inline ShardAuditResult audit_shard_allocations(
     sessions.push_back({records[i], i, topology.peer_of(records[i].user)});
   }
 
-  const cache::FutureIndex empty_future;
+  // An Oracle primary needs the future index, a GlobalLFU primary the
+  // replay board, and shadow-matrix mode instantiates every registered
+  // scorer so it needs both — built here exactly as the orchestrator's
+  // prepass would (outside the measured region either way).
+  const bool needs_future =
+      config.shadow_matrix ||
+      config.strategy.kind == core::StrategyKind::Oracle;
+  const bool needs_board =
+      config.shadow_matrix ||
+      config.strategy.kind == core::StrategyKind::GlobalLfu;
+  cache::FutureIndex future(needs_future ? trace.catalog().size() : 0);
+  std::shared_ptr<cache::ReplayBoard> board;
+  if (needs_future) {
+    for (const auto& session : sessions) {
+      future.add(session.record.program, session.record.start);
+    }
+  }
+  future.freeze();
+  if (needs_board) {
+    auto replay = std::make_shared<cache::ReplayBoard>(
+        trace.catalog().size(), config.strategy.lfu_history,
+        config.strategy.global_lag);
+    for (const auto& record : records) {
+      replay->add(record.program, record.start);
+    }
+    replay->freeze();
+    board = std::move(replay);
+  }
   core::NeighborhoodShard shard(
       NeighborhoodId{0}, topology.size_of(NeighborhoodId{0}), trace.catalog(),
-      trace.horizon(), config, &empty_future, nullptr, {});
+      trace.horizon(), config, &future, std::move(board), {});
 
   constexpr std::size_t kBatch = 256;
   const auto feed_range = [&](std::size_t begin, std::size_t end) {

@@ -18,8 +18,11 @@
 // Everything is seeded, so this test is exactly reproducible — a failure
 // means a real allocation crept into the hot path, never noise.
 //
-// GlobalLFU, Oracle, and GreedyDual are deliberately out of audit scope
-// (their auxiliary structures still allocate), as are failure storms
+// The shadow-matrix case audits every registered scorer and admission at
+// once: the shadow bank rides the same feed() loop, so its 25 (scorer x
+// admission) pairs — GlobalLFU's replay cursor, the Oracle's future-index
+// lookups, the TinyLFU sketch, all of them — must be equally
+// allocation-free once warm.  Failure storms stay out of scope
 // (wipe_peer returns the emptied-program vector by design).
 #include <gtest/gtest.h>
 
@@ -78,7 +81,9 @@ INSTANTIATE_TEST_SUITE_P(
         AuditCase{core::StrategyKind::Lfu, core::CacheAdmission::Segment,
                   false, "lfu_segment"},
         AuditCase{core::StrategyKind::Lfu, core::CacheAdmission::WholeProgram,
-                  true, "lfu_replicate"}),
+                  true, "lfu_replicate"},
+        AuditCase{core::StrategyKind::Lfu, core::CacheAdmission::WholeProgram,
+                  false, "lfu_shadow_matrix"}),
     [](const auto& info) { return std::string(info.param.label); });
 
 TEST_P(AllocationAudit, SteadyStateShardLoopIsAllocationFree) {
@@ -86,6 +91,11 @@ TEST_P(AllocationAudit, SteadyStateShardLoopIsAllocationFree) {
   auto config = audit_config(c.strategy);
   config.admission = c.admission;
   config.replicate_on_busy = c.replicate_on_busy;
+  // The shadow case rides the whole (scorer x admission) matrix — every
+  // shadow's stores, sketches, and admission histories must hit their
+  // high-water marks within the same warmup.
+  config.shadow_matrix =
+      std::string(c.label) == "lfu_shadow_matrix";
 
   const auto trace = audit_trace();
   const auto result =

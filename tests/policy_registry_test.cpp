@@ -63,7 +63,8 @@ TEST(PolicyRegistry, UnknownNamesAreRejected) {
 
 TEST(PolicyRegistry, KeyListsMatchTheRegistries) {
   EXPECT_EQ(scorer_keys(), "none|lru|lfu|oracle|global|greedydual");
-  EXPECT_EQ(admission_keys(), "always|second-hit|coax-headroom");
+  EXPECT_EQ(admission_keys(),
+            "always|second-hit|coax-headroom|sketch-lfu|adaptive-headroom");
 }
 
 // Every scorer factory builds (or deliberately declines to build) from a

@@ -43,6 +43,8 @@
 //   --list-strategies     print every registered scorer and admission
 //                         policy (the registry is the single source of
 //                         truth for these names), then exit
+//   --shadow-matrix       shadow every (scorer x admission) pair against
+//                         the primary's replay in the same single pass
 //   --replicate           replicate stream-saturated segments
 // Tier options (run; any --hub-* flag adds a regional hub tier between
 // the neighborhoods and the origin):
@@ -327,6 +329,8 @@ CliOptions parse(int argc, char** argv) {
       list_tiers();
     } else if (arg == "--replicate") {
       options.system.replicate_on_busy = true;
+    } else if (arg == "--shadow-matrix") {
+      options.system.shadow_matrix = true;
     } else if (arg == "--threads") {
       options.system.threads = static_cast<std::uint32_t>(
           parse_int(need_value(i), "--threads", 1, 4096));
