@@ -11,7 +11,23 @@ SecondHitPolicy::SecondHitPolicy(sim::SimTime probation_window)
   VODCACHE_EXPECTS(probation_window >= sim::SimTime{});
 }
 
+void SecondHitPolicy::maybe_age(std::int64_t t_ms) {
+  if (t_ms < next_sweep_ms_) return;
+  // Sweep cadence of one window keeps the table within one window's worth
+  // of fresh programs past the 2x cutoff (a zero window degenerates to
+  // sweeping every millisecond tick, which a zero window has already made
+  // an always-refuse policy anyway).
+  next_sweep_ms_ = t_ms + std::max<std::int64_t>(window_.millis_count(), 1);
+  const std::int64_t cutoff = t_ms - 2 * window_.millis_count();
+  expired_.clear();
+  history_.for_each([&](std::uint64_t key, const History& entry) {
+    if (entry.last_ms < cutoff) expired_.push_back(key);
+  });
+  for (const std::uint64_t key : expired_) history_.erase(key);
+}
+
 void SecondHitPolicy::record_access(ProgramId program, sim::SimTime t) {
+  maybe_age(t.millis_count());
   auto* entry = history_.find(program.value());
   if (entry == nullptr) entry = &history_.insert(program.value(), History{});
   entry->previous_ms = entry->last_ms;
@@ -70,22 +86,27 @@ AdaptiveHeadroomPolicy::AdaptiveHeadroomPolicy(const hfc::CoaxSpec& spec,
 }
 
 void AdaptiveHeadroomPolicy::rotate(sim::SimTime t) {
-  while (t >= window_end_) {
-    // Empty windows (no segment finished) carry no signal: roll the
-    // boundary forward without moving the fraction or the reference rate.
-    if (window_segments_ > 0) {
-      const double rate = static_cast<double>(window_hits_) /
-                          static_cast<double>(window_segments_);
-      if (previous_rate_ >= 0.0 && rate < previous_rate_) {
-        direction_ = -direction_;
-      }
-      previous_rate_ = rate;
-      fraction_ = std::clamp(fraction_ + direction_ * step_, kMinFraction, 1.0);
-      window_segments_ = 0;
-      window_hits_ = 0;
+  if (t < window_end_) return;
+  // Feedback only accumulates between rotations, and every event rotates
+  // first — so at most the *oldest* pending window carries data; all later
+  // boundaries up to t close empty windows, which carry no signal (no
+  // fraction step, no reference-rate update).  Evaluate the one window,
+  // then jump the boundary past t arithmetically: a sparse stream's
+  // multi-week gap costs O(1), not O(gap/window) empty iterations.
+  if (window_segments_ > 0) {
+    const double rate = static_cast<double>(window_hits_) /
+                        static_cast<double>(window_segments_);
+    if (previous_rate_ >= 0.0 && rate < previous_rate_) {
+      direction_ = -direction_;
     }
-    window_end_ = window_end_ + window_;
+    previous_rate_ = rate;
+    fraction_ = std::clamp(fraction_ + direction_ * step_, kMinFraction, 1.0);
+    window_segments_ = 0;
+    window_hits_ = 0;
   }
+  const std::int64_t w = window_.millis_count();
+  const std::int64_t gap = (t - window_end_).millis_count();
+  window_end_ = window_end_ + sim::SimTime::millis((gap / w + 1) * w);
 }
 
 bool AdaptiveHeadroomPolicy::admit(const AdmissionRequest& request) {

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
 #include "cache/sketch.hpp"
 #include "hfc/topology.hpp"
@@ -84,6 +85,10 @@ class SecondHitPolicy final : public AdmissionPolicy {
   void record_access(ProgramId program, sim::SimTime t) override;
   [[nodiscard]] bool admit(const AdmissionRequest& request) override;
 
+  // Live probation histories (aging drops the rest); test hook for the
+  // bounded-growth assertion.
+  [[nodiscard]] std::size_t history_size() const { return history_.size(); }
+
  private:
   struct History {
     std::int64_t last_ms = 0;      // most recent access (current session)
@@ -91,12 +96,26 @@ class SecondHitPolicy final : public AdmissionPolicy {
     std::uint64_t count = 0;
   };
 
+  // Drops every entry whose last access fell out of 2x the probation
+  // window, once per elapsed window of event time.  Decision-invariant:
+  // a program re-accessed after the drop re-inserts at count 1 and is
+  // refused, exactly as the kept entry would be — its previous access is
+  // older than 2x window, so the recency test fails regardless of count.
+  // Without aging the table grows with every program ever seen, which is
+  // unbounded heap growth inside the zero-alloc audit scope on large
+  // scaled catalogs.
+  void maybe_age(std::int64_t t_ms);
+
   sim::SimTime window_;
   // Flat table keyed by program id: the history is read once per session on
   // the shard hot path, and shadow evaluation runs one instance per
   // (scorer x admission) pair — node-based buckets would put pointer
   // chasing and per-program heap nodes back into the audited loop.
   util::FlatMap64<History> history_;
+  std::int64_t next_sweep_ms_ = 0;
+  // Reused across sweeps (high-water capacity): keys cannot be erased
+  // mid-for_each, so they are staged here first.
+  std::vector<std::uint64_t> expired_;
 };
 
 // Coax-headroom gate: refuses admission while the neighborhood coax is
@@ -172,8 +191,11 @@ class AdaptiveHeadroomPolicy final : public AdmissionPolicy {
   [[nodiscard]] double fraction() const { return fraction_; }
 
  private:
-  // Rotates every window boundary at or before `t` (events arrive in time
-  // order, so this touches each boundary exactly once).
+  // Advances the window to the boundary covering `t` in O(1): one
+  // evaluation for the window that actually accumulated feedback, then an
+  // arithmetic jump over the empty gap.  A sparse stream whose events are
+  // weeks apart must not pay one loop iteration per elapsed window
+  // (regression-pinned in tests/admission_test.cpp).
   void rotate(sim::SimTime t);
 
   hfc::CoaxSpec spec_;

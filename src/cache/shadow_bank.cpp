@@ -191,4 +191,11 @@ void ShadowBank::fail_peer(PeerId peer) {
   }
 }
 
+ShadowBank::CellState ShadowBank::cell_state(std::size_t pair) {
+  Shadow& shadow = shadows_[pair];
+  return CellState{shadow.scorer_display, shadow.admission_display,
+                   shadow.scorer,         shadow.admission,
+                   shadow.store,          shadow.slots};
+}
+
 }  // namespace vodcache::cache

@@ -128,6 +128,24 @@ class ShadowBank {
   // Mirrors IndexServer::fail_peer.
   void fail_peer(PeerId peer);
 
+  // Live policy switching (cache::PolicySwitcher): mutable references into
+  // one cell's private state, so the shard can exchange it wholesale with
+  // the primary's — the cell's store/slots/policy state is promoted to be
+  // the primary's warm cached set, and the demoted primary state drops into
+  // the cell.  Counters are deliberately absent: both ledgers keep
+  // accumulating in place across a switch (the primary's report stays one
+  // continuous history; conservation — segments == hits + misses — holds
+  // on both sides because each serve still bumps exactly one bucket).
+  struct CellState {
+    const char*& scorer_display;
+    const char*& admission_display;
+    std::unique_ptr<EvictionScorer>& scorer;
+    std::unique_ptr<AdmissionPolicy>& admission;
+    SegmentStore& store;
+    std::vector<hfc::StreamSlots>& slots;
+  };
+  [[nodiscard]] CellState cell_state(std::size_t pair);
+
  private:
   struct Shadow {
     const char* scorer_display;

@@ -51,6 +51,10 @@ void SystemConfig::validate() const {
   VODCACHE_EXPECTS(admission_policy.adapt_window > sim::SimTime{});
   VODCACHE_EXPECTS(admission_policy.adapt_step > 0.0 &&
                    admission_policy.adapt_step < 1.0);
+  VODCACHE_EXPECTS(switch_window > sim::SimTime{});
+  VODCACHE_EXPECTS(switch_windows_k >= 1);
+  // A no-cache primary has no cached set to hand over in a warm switch.
+  VODCACHE_EXPECTS(!policy_switch || strategy.kind != StrategyKind::None);
   VODCACHE_EXPECTS(warmup >= sim::SimTime{});
   VODCACHE_EXPECTS(threads >= 1);
   VODCACHE_EXPECTS(stream_chunk > sim::SimTime{});

@@ -218,4 +218,20 @@ ServeResult IndexServer::serve_segment(PeerId viewer, cache::SegmentKey key,
   return was_cached ? ServeResult::MissBusy : ServeResult::MissCold;
 }
 
+void IndexServer::swap_policy_state(
+    std::unique_ptr<cache::EvictionScorer>& scorer,
+    std::unique_ptr<cache::AdmissionPolicy>& admission,
+    cache::SegmentStore& store, std::vector<hfc::StreamSlots>& slots) {
+  // A null incoming scorer would demote the server to StrategyKind::None
+  // mid-run; config validation forbids switching in that world.
+  VODCACHE_EXPECTS(scorer != nullptr && scorer_ != nullptr);
+  VODCACHE_EXPECTS(slots.size() == peers_.size());
+  std::swap(scorer_, scorer);
+  std::swap(admission_, admission);
+  std::swap(store_, store);
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    std::swap(peers_[i].slots(), slots[i]);
+  }
+}
+
 }  // namespace vodcache::core

@@ -89,6 +89,19 @@ class IndexServer {
   // lost their last segment are dropped from the strategy's cached set.
   void fail_peer(PeerId peer);
 
+  // Warm policy switch (cache::PolicySwitcher): exchange this server's
+  // cached set and policy state with a shadow cell's — the cell's
+  // SegmentStore, per-peer stream slots, scorer, and admission policy
+  // become the primary's (no cold restart), and the old primary state
+  // moves out through the same references (demotion into the cell).
+  // `slots` must hold exactly peer_count() entries.  Counters and meters
+  // stay put: the report remains one continuous per-neighborhood history,
+  // and metering is policy-independent anyway.
+  void swap_policy_state(std::unique_ptr<cache::EvictionScorer>& scorer,
+                         std::unique_ptr<cache::AdmissionPolicy>& admission,
+                         cache::SegmentStore& store,
+                         std::vector<hfc::StreamSlots>& slots);
+
   [[nodiscard]] NeighborhoodId id() const { return id_; }
   [[nodiscard]] std::uint32_t peer_count() const {
     return static_cast<std::uint32_t>(peers_.size());

@@ -23,7 +23,17 @@ NeighborhoodShard::NeighborhoodShard(
               horizon, tiers, std::move(tier_nodes)),
       failures_(std::move(failures)) {
   VODCACHE_EXPECTS(future_ != nullptr);
-  if (config_.shadow_matrix) shadow_ = make_shadow_bank(peer_count);
+  if (config_.shadow_matrix || config_.policy_switch) {
+    shadow_ = make_shadow_bank(peer_count);
+  }
+  if (config_.policy_switch) {
+    switcher_ = std::make_unique<cache::PolicySwitcher>(
+        config_.switch_window, config_.switch_windows_k,
+        shadow_->pair_count());
+    primary_scorer_name_ = scorer_entry(config_.strategy.kind).display;
+    primary_admission_name_ =
+        admission_entry(config_.admission_policy.kind).display;
+  }
 }
 
 std::unique_ptr<cache::EvictionScorer> NeighborhoodShard::make_scorer() {
@@ -77,6 +87,63 @@ void NeighborhoodShard::apply_failures(sim::SimTime now) {
       if (shadow_ != nullptr) shadow_->fail_peer(peer);
     }
     ++next_failure_;
+  }
+}
+
+void NeighborhoodShard::maybe_switch(sim::SimTime t) {
+  if (switcher_ == nullptr) return;
+  const auto& counters = server_.counters();
+  const auto decision = switcher_->evaluate(
+      t, {counters.segments, counters.hits}, *shadow_);
+  if (!decision) return;
+
+  const std::size_t winner = decision->cell;
+  const cache::ShadowCounters& winner_counters = shadow_->counters(winner);
+  cache::SwitchEvent event;
+  event.time = t;
+  event.from_scorer = primary_scorer_name_;
+  event.from_admission = primary_admission_name_;
+  event.to_scorer = shadow_->scorer_name(winner);
+  event.to_admission = shadow_->admission_name(winner);
+  event.cell = winner;
+  event.window_primary_hits = decision->window_primary_hits;
+  event.window_winner_hits = decision->window_winner_hits;
+  event.primary_hits = counters.hits;
+  event.primary_cold_misses = counters.cold_misses;
+  event.primary_busy_misses = counters.busy_misses;
+  event.winner_hits = winner_counters.hits;
+  event.winner_cold_misses = winner_counters.cold_misses;
+  event.winner_busy_misses = winner_counters.busy_misses;
+  switch_log_.push_back(event);
+
+  // The warm swap: the winning cell's store/slots/policy state becomes the
+  // primary's, the demoted primary state drops into the cell.  From here
+  // on the primary replays exactly what the cell's standalone run would —
+  // which is what makes the at-switch counter snapshots above a pinnable
+  // equivalence (tests/policy_switcher_test.cpp).
+  auto cell = shadow_->cell_state(winner);
+  server_.swap_policy_state(cell.scorer, cell.admission, cell.store,
+                            cell.slots);
+  std::swap(primary_scorer_name_, cell.scorer_display);
+  std::swap(primary_admission_name_, cell.admission_display);
+
+  // In-flight sessions carry their whole-session admit decisions in the
+  // slot lanes; those decisions belong to the *state* that made them, so
+  // they swap too — the primary lane takes the cell's bit, the cell's bit
+  // takes the primary lane.  Without this, a session admitted by the old
+  // primary would keep filling the winner's store it was never admitted
+  // into (and vice versa), breaking the standalone equivalence.
+  const std::uint64_t bit = std::uint64_t{1} << winner;
+  const auto slot_count = static_cast<std::uint32_t>(slot_start_ms_.size());
+  for (std::uint32_t slot = 0; slot < slot_count; ++slot) {
+    if (slot_start_ms_[slot] == kFreeSlot) continue;
+    const bool cell_admit = (slot_shadow_admit_[slot] & bit) != 0;
+    if (slot_admit_[slot] != 0) {
+      slot_shadow_admit_[slot] |= bit;
+    } else {
+      slot_shadow_admit_[slot] &= ~bit;
+    }
+    slot_admit_[slot] = cell_admit ? 1 : 0;
   }
 }
 
@@ -244,11 +311,13 @@ void NeighborhoodShard::feed(std::span<const StreamSession> batch) {
       const auto t = sim::SimTime::millis(event.time_ms);
       advance_clock_to_boundary(t);
       apply_failures(t);
+      maybe_switch(t);
       play_segment(event.slot, t);
     }
     clock_.now = start;
     clock_.position = static_cast<std::size_t>(stream_session.index);
     apply_failures(start);
+    maybe_switch(start);
     start_session(stream_session, new_slots_[s]);
   }
   // Every generated boundary lies at or before the last session start, so
@@ -277,6 +346,7 @@ void NeighborhoodShard::finish(sim::SimTime failure_flush) {
     const auto t = sim::SimTime::millis(event.time_ms);
     advance_clock_to_boundary(t);
     apply_failures(t);
+    maybe_switch(t);
     play_segment(event.slot, t);
   }
   // The serial engine applies a failure wave at the first event anywhere in

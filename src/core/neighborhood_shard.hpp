@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "cache/future_index.hpp"
+#include "cache/policy_switcher.hpp"
 #include "cache/popularity_board.hpp"
 #include "cache/shadow_bank.hpp"
 #include "core/config.hpp"
@@ -129,9 +130,14 @@ class NeighborhoodShard {
   [[nodiscard]] NeighborhoodId id() const { return server_.id(); }
   [[nodiscard]] const IndexServer& index_server() const { return server_; }
   [[nodiscard]] const MediaServer& media_server() const { return media_; }
-  // Null unless SystemConfig::shadow_matrix is on.
+  // Null unless SystemConfig::shadow_matrix or policy_switch is on.
   [[nodiscard]] const cache::ShadowBank* shadow_bank() const {
     return shadow_.get();
+  }
+  // The promotions this neighborhood performed, in event order.  Empty
+  // unless SystemConfig::policy_switch is on.
+  [[nodiscard]] std::span<const cache::SwitchEvent> switch_log() const {
+    return switch_log_;
   }
 
  private:
@@ -157,6 +163,13 @@ class NeighborhoodShard {
   void play_segment(std::uint32_t slot, sim::SimTime at);
   // Applies pre-rolled peer failures whose time has come (<= now).
   void apply_failures(sim::SimTime now);
+  // Live policy switching: asks the switcher whether a shadow cell's
+  // k-window streak completed at `t`, and if so performs the warm swap —
+  // cell state into the primary, primary state into the cell, in-flight
+  // admit decisions exchanged slot by slot — and logs the promotion.
+  // Called before every event (boundary or session start); no-op unless
+  // SystemConfig::policy_switch is on.
+  void maybe_switch(sim::SimTime t);
   // Moves the replay clock to a boundary event at `t`: position = first
   // trace record with start >= t (all earlier starts ran before us).
   void advance_clock_to_boundary(sim::SimTime t);
@@ -180,9 +193,17 @@ class NeighborhoodShard {
 
   MediaServer media_;
   IndexServer server_;
-  // Shadow-matrix mode only (null otherwise).  Must follow server_: the
-  // bank's headroom-gated shadows read the primary's coax meter.
+  // Shadow-matrix / policy-switch modes only (null otherwise).  Must
+  // follow server_: the bank's headroom-gated shadows read the primary's
+  // coax meter.
   std::unique_ptr<cache::ShadowBank> shadow_;
+  // Policy-switch mode only (null otherwise).
+  std::unique_ptr<cache::PolicySwitcher> switcher_;
+  // The primary's current pair, for the switch log (registry display
+  // names; exchanged with the cell's on every swap).
+  const char* primary_scorer_name_ = "";
+  const char* primary_admission_name_ = "";
+  std::vector<cache::SwitchEvent> switch_log_;
 
   // Session slots, structure-of-arrays.  A free slot holds kFreeSlot in
   // its start lane; live slots keep the next boundary still to generate in

@@ -71,6 +71,16 @@ std::string SimulationReport::to_string() const {
           << '\n';
     }
   }
+  if (policy_switching) {
+    out << "policy switches (" << policy_switches.size() << "):\n";
+    for (const auto& rec : policy_switches) {
+      out << "  n" << rec.neighborhood << " @"
+          << rec.time.millis_count() / 3600000.0 << "h " << rec.from_scorer
+          << " x " << rec.from_admission << " -> " << rec.to_scorer << " x "
+          << rec.to_admission << " (window hits " << rec.window_primary_hits
+          << " -> " << rec.window_winner_hits << ")\n";
+    }
+  }
   return out.str();
 }
 

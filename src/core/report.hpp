@@ -29,6 +29,11 @@ struct NeighborhoodReport {
   // 0 under always-admit; serialized only when a gate is active, so
   // default-admission reports keep their pre-policy-engine bytes.
   std::uint64_t admission_denials = 0;
+  // Segment transmissions (== hits + cold_misses + busy_misses; the
+  // invariant fuzzer checks the identity per neighborhood across switch
+  // boundaries).  Always populated; serialized only in policy-switching
+  // runs so pre-existing report bytes are unchanged.
+  std::uint64_t segments = 0;
   DataSize cache_used;
   DataSize cache_capacity;
 };
@@ -70,6 +75,30 @@ struct ShadowCellReport {
     return total == 0 ? 0.0
                       : static_cast<double>(hits) / static_cast<double>(total);
   }
+};
+
+// One live policy promotion (SystemConfig::policy_switch): at `time`,
+// neighborhood `neighborhood` swapped its primary (from_*) for the shadow
+// cell (to_*) that had out-hit it for k consecutive windows.  The window_*
+// fields are the triggering window's hit counts; the cumulative snapshots
+// pin the warm-switch equivalence — post-switch primary counter deltas
+// equal a standalone run of the winning pair measured from the same marks
+// (tests/policy_switcher_test.cpp).
+struct PolicySwitchRecord {
+  std::uint32_t neighborhood = 0;
+  sim::SimTime time;
+  std::string from_scorer;
+  std::string from_admission;
+  std::string to_scorer;
+  std::string to_admission;
+  std::uint64_t window_primary_hits = 0;
+  std::uint64_t window_winner_hits = 0;
+  std::uint64_t primary_hits = 0;
+  std::uint64_t primary_cold_misses = 0;
+  std::uint64_t primary_busy_misses = 0;
+  std::uint64_t winner_hits = 0;
+  std::uint64_t winner_cold_misses = 0;
+  std::uint64_t winner_busy_misses = 0;
 };
 
 struct SimulationReport {
@@ -115,6 +144,16 @@ struct SimulationReport {
   // `tiers`).  The primary's own fields above are untouched by shadow
   // mode by construction (pinned in tests/shadow_bank_test.cpp).
   std::vector<ShadowCellReport> shadow_matrix;
+
+  // Live policy switching (SystemConfig::policy_switch).  The flag — not
+  // emptiness — gates serialization, so a switching run where no
+  // neighborhood ever switched still declares the (empty) log; switch-off
+  // reports keep their pre-existing bytes.  `shadow_matrix` is suppressed
+  // in switching runs: after a swap the cells no longer mean the same
+  // pair in every neighborhood, so the cross-shard cell merge would sum
+  // unlike ledgers.
+  bool policy_switching = false;
+  std::vector<PolicySwitchRecord> policy_switches;
 
   // Echo of the run setup.
   std::uint32_t neighborhood_count = 0;

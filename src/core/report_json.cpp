@@ -109,6 +109,31 @@ void write_json(const SimulationReport& report, std::ostream& out,
     out << ']';
   }
 
+  // Gated on the flag, not emptiness: a switching run with zero switches
+  // still declares the (empty) log, while switch-off reports keep their
+  // exact pre-existing bytes.
+  if (report.policy_switching) {
+    out << ",\"policy_switches\":[";
+    for (std::size_t i = 0; i < report.policy_switches.size(); ++i) {
+      const auto& rec = report.policy_switches[i];
+      out << (i ? "," : "") << "{\"neighborhood\":" << rec.neighborhood << ","
+          << "\"time_ms\":" << rec.time.millis_count() << ","
+          << "\"from_scorer\":\"" << rec.from_scorer << "\","
+          << "\"from_admission\":\"" << rec.from_admission << "\","
+          << "\"to_scorer\":\"" << rec.to_scorer << "\","
+          << "\"to_admission\":\"" << rec.to_admission << "\","
+          << "\"window_primary_hits\":" << rec.window_primary_hits << ","
+          << "\"window_winner_hits\":" << rec.window_winner_hits << ","
+          << "\"primary_hits\":" << rec.primary_hits << ","
+          << "\"primary_cold_misses\":" << rec.primary_cold_misses << ","
+          << "\"primary_busy_misses\":" << rec.primary_busy_misses << ","
+          << "\"winner_hits\":" << rec.winner_hits << ","
+          << "\"winner_cold_misses\":" << rec.winner_cold_misses << ","
+          << "\"winner_busy_misses\":" << rec.winner_busy_misses << '}';
+    }
+    out << ']';
+  }
+
   if (include_neighborhoods) {
     out << ",\"neighborhoods\":[";
     for (std::size_t i = 0; i < report.neighborhoods.size(); ++i) {
@@ -124,6 +149,12 @@ void write_json(const SimulationReport& report, std::ostream& out,
           << ",\"busy_misses\":" << n.busy_misses;
       if (report.admission_policy != AdmissionKind::Always) {
         out << ",\"admission_denials\":" << n.admission_denials;
+      }
+      // Per-neighborhood conservation term for switching runs (see
+      // NeighborhoodReport::segments); gated so other reports keep their
+      // pre-existing bytes.
+      if (report.policy_switching) {
+        out << ",\"segments\":" << n.segments;
       }
       out << ",\"cache_used_bytes\":" << n.cache_used.byte_count()
           << ",\"cache_capacity_bytes\":" << n.cache_capacity.byte_count()

@@ -41,13 +41,13 @@ ShardedSimulation::PrepassNeeds ShardedSimulation::needs() const {
   // Each requirement needs whole-trace knowledge before the replay;
   // everything else streams in a single pass.
   PrepassNeeds need;
-  // Shadow-matrix mode instantiates *every* registered scorer, so the
-  // GlobalLFU board and Oracle future index must exist whatever the
-  // primary strategy is.
+  // Shadow-matrix and policy-switch modes instantiate *every* registered
+  // scorer, so the GlobalLFU board and Oracle future index must exist
+  // whatever the primary strategy is.
   need.board = config_.strategy.kind == StrategyKind::GlobalLfu ||
-               config_.shadow_matrix;
+               config_.shadow_matrix || config_.policy_switch;
   need.future = config_.strategy.kind == StrategyKind::Oracle ||
-                config_.shadow_matrix;
+                config_.shadow_matrix || config_.policy_switch;
   need.flush = !config_.peer_failures.empty();
   // Tier prefetch plans are whole-trace knowledge too: a no-op prefetch
   // (None) or all-zero tier capacities leaves every plan empty, so those
@@ -501,6 +501,7 @@ SimulationReport ShardedSimulation::build_report(
     }
     const auto& c = server.counters();
     n.sessions = c.sessions;
+    n.segments = c.segments;
     n.hits = c.hits;
     n.cold_misses = c.cold_misses;
     n.busy_misses = c.busy_misses;
@@ -532,8 +533,11 @@ SimulationReport ShardedSimulation::build_report(
   // shard order (fixed order keeps the bit sums bit-identical across
   // thread counts, same rule as every other merge).  Every shard built
   // its bank from the same registry walk, so pair p means the same
-  // (scorer x admission) everywhere.
-  if (config_.shadow_matrix && !shards_.empty()) {
+  // (scorer x admission) everywhere — which is exactly what a policy
+  // switch breaks: after a swap, a cell holds the *demoted* pair's ledger
+  // under the promoted pair's index, per neighborhood.  Switching runs
+  // therefore suppress the matrix and report the switch log instead.
+  if (config_.shadow_matrix && !config_.policy_switch && !shards_.empty()) {
     const cache::ShadowBank* first = shards_.front()->shadow_bank();
     VODCACHE_ASSERT(first != nullptr);
     report.shadow_matrix.resize(first->pair_count());
@@ -558,6 +562,35 @@ SimulationReport ShardedSimulation::build_report(
         cell.admission_denials += c.admission_denials;
         cell.hit_bits += c.hit_bits;
         cell.miss_bits += c.miss_bits;
+      }
+    }
+  }
+
+  // Switch-log merge: shard order, event order within a shard — fixed
+  // order like every other merge, and the events themselves are a pure
+  // function of each shard's stream, so the log is bit-identical across
+  // thread counts and chunk sizes (pinned in
+  // tests/policy_switcher_test.cpp).
+  if (config_.policy_switch) {
+    report.policy_switching = true;
+    for (const auto& shard : shards_) {
+      for (const cache::SwitchEvent& event : shard->switch_log()) {
+        PolicySwitchRecord rec;
+        rec.neighborhood = shard->id().value();
+        rec.time = event.time;
+        rec.from_scorer = event.from_scorer;
+        rec.from_admission = event.from_admission;
+        rec.to_scorer = event.to_scorer;
+        rec.to_admission = event.to_admission;
+        rec.window_primary_hits = event.window_primary_hits;
+        rec.window_winner_hits = event.window_winner_hits;
+        rec.primary_hits = event.primary_hits;
+        rec.primary_cold_misses = event.primary_cold_misses;
+        rec.primary_busy_misses = event.primary_busy_misses;
+        rec.winner_hits = event.winner_hits;
+        rec.winner_cold_misses = event.winner_cold_misses;
+        rec.winner_busy_misses = event.winner_busy_misses;
+        report.policy_switches.push_back(std::move(rec));
       }
     }
   }

@@ -28,7 +28,8 @@ constexpr SectionEntry kSections[] = {
      "zipf_exponent, zipf_offset, freshness_boost, freshness_tau_days, "
      "freshness_floor, back_catalog_fraction"},
     {"system", "topology and measurement overrides",
-     "neighborhood, per_peer_gb, warmup_days"},
+     "neighborhood, per_peer_gb, warmup_days, policy_switch, "
+     "switch_window_hours, switch_windows_k"},
     {"flash_crowd",
      "redirect a share of in-window sessions onto one hot title",
      "title_rank, start_hour, duration_hours, capture, seed"},
@@ -222,6 +223,19 @@ ScenarioSpec parse_scenario(std::istream& in, std::string name,
       }
       if (s("warmup_days")) {
         spec.warmup_days = bounded(value, line_number, key, 0, kMaxDays);
+        return;
+      }
+      if (s("policy_switch")) {
+        spec.policy_switch = bounded(value, line_number, key, 0, 1) != 0;
+        return;
+      }
+      if (s("switch_window_hours")) {
+        spec.switch_window_hours =
+            bounded(value, line_number, key, 1, kMaxDays * 24);
+        return;
+      }
+      if (s("switch_windows_k")) {
+        spec.switch_windows_k = bounded(value, line_number, key, 1, 1000);
         return;
       }
     } else if (section == "flash_crowd") {
@@ -520,6 +534,13 @@ void apply_system(const ScenarioSpec& spec, core::SystemConfig& config) {
   }
   if (spec.warmup_days) {
     config.warmup = sim::SimTime::days(*spec.warmup_days);
+  }
+  if (spec.policy_switch) config.policy_switch = *spec.policy_switch;
+  if (spec.switch_window_hours) {
+    config.switch_window = sim::SimTime::hours(*spec.switch_window_hours);
+  }
+  if (spec.switch_windows_k) {
+    config.switch_windows_k = static_cast<int>(*spec.switch_windows_k);
   }
   if (spec.storm.enabled) {
     for (std::uint32_t k = 0; k < spec.storm.waves; ++k) {

@@ -138,6 +138,9 @@ struct ScenarioSpec {
   std::optional<std::uint32_t> neighborhood_size;
   std::optional<std::int64_t> per_peer_gb;
   std::optional<std::int64_t> warmup_days;
+  std::optional<bool> policy_switch;
+  std::optional<std::int64_t> switch_window_hours;
+  std::optional<std::int64_t> switch_windows_k;
 
   FlashCrowdSpec flash_crowd;
   ReleaseWavesSpec release_waves;

@@ -4,8 +4,11 @@
 // outcomes — the scenario the monolithic strategy could not express.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 
+#include "alloc_probe.hpp"
 #include "cache/admission.hpp"
 #include "cache/lru.hpp"
 #include "core/index_server.hpp"
@@ -13,6 +16,8 @@
 #include "core/vod_system.hpp"
 #include "test_support.hpp"
 #include "trace/generator.hpp"
+
+VODCACHE_DEFINE_ALLOC_PROBE();
 
 namespace vodcache::core {
 namespace {
@@ -68,6 +73,53 @@ TEST(SecondHitPolicy, AccessAtTimeZeroCounts) {
   policy.record_access(ProgramId{3}, sim::SimTime{});
   policy.record_access(ProgramId{3}, at_hours(1));
   EXPECT_TRUE(policy.admit(request(3, at_hours(1))));
+}
+
+TEST(SecondHitPolicy, AgingBoundsHistoryOnChurningCatalogs) {
+  // Regression: history_ used to keep one entry per program ever seen —
+  // unbounded growth on a churning catalog.  With aging, entries whose
+  // last access fell out of 2x the probation window are swept, so the
+  // live table tracks only the recent access set.
+  cache::SecondHitPolicy policy(sim::SimTime::hours(1));
+  std::size_t high_water = 0;
+  for (std::int64_t hour = 0; hour < 500; ++hour) {
+    for (std::uint32_t k = 0; k < 4; ++k) {
+      policy.record_access(ProgramId{static_cast<std::uint32_t>(hour) * 4 + k},
+                           at_hours(hour));
+    }
+    high_water = std::max(high_water, policy.history_size());
+  }
+  // 2000 distinct programs seen; only the last ~3 hours' worth (sweep
+  // cadence one window, cutoff two windows) may be live at once.
+  EXPECT_LE(high_water, 16u);
+
+  // Aging is decision-invariant: a swept program re-accessed later is
+  // refused exactly as a kept-but-stale entry would be, and its probation
+  // clock restarts the same way.
+  policy.record_access(ProgramId{0}, at_hours(600));
+  EXPECT_FALSE(policy.admit(request(0, at_hours(600))));
+  policy.record_access(ProgramId{0}, at_hours(600));
+  EXPECT_TRUE(policy.admit(request(0, at_hours(600))));
+}
+
+TEST(SecondHitPolicy, SteadyStateIsAllocationFree) {
+  // With aging bounding the live set, the flat table and the sweep's
+  // scratch vector reach a high-water capacity and stay there: after a
+  // warm phase, driving the same churn pattern must allocate nothing.
+  cache::SecondHitPolicy policy(sim::SimTime::hours(1));
+  auto drive = [&](std::int64_t from_hour, std::int64_t hours) {
+    for (std::int64_t hour = from_hour; hour < from_hour + hours; ++hour) {
+      for (std::uint32_t k = 0; k < 4; ++k) {
+        const auto id = static_cast<std::uint32_t>(hour) * 4 + k;
+        policy.record_access(ProgramId{id}, at_hours(hour));
+        (void)policy.admit(request(id, at_hours(hour)));
+      }
+    }
+  };
+  drive(0, 100);  // warm: table + scratch reach capacity
+  const std::uint64_t before = test::alloc_count();
+  drive(100, 400);
+  EXPECT_EQ(test::alloc_count() - before, 0u);
 }
 
 // --------------------------------------------------------- coax-headroom
@@ -150,6 +202,25 @@ TEST(AdaptiveHeadroomPolicy, ClimbsWhileHitRateImprovesAndReverses) {
   // Window 3 -> 4: rate degraded (0.0 < 1.0): reverse, step down.
   policy.on_serve(true, at_hours(3));
   EXPECT_DOUBLE_EQ(policy.fraction(), 0.6);
+}
+
+TEST(AdaptiveHeadroomPolicy, SparseStreamRotatesInConstantTime) {
+  // Regression: rotate() used to advance window_end_ one window at a time,
+  // so a multi-week gap between events cost O(gap / window) iterations.
+  // With a 1-second window and ~50-year gaps, the old loop would spin
+  // ~1.6e9 times per event — this test only terminates if the jump is
+  // arithmetic.
+  hfc::CoaxSpec spec;
+  cache::AdaptiveHeadroomPolicy policy(spec, 0.5, sim::SimTime::seconds(1),
+                                       0.05);
+  for (std::int64_t i = 1; i <= 1000; ++i) {
+    policy.on_serve(i % 2 == 0, sim::SimTime::days(i * 365 * 50));
+  }
+  EXPECT_GE(policy.fraction(), cache::AdaptiveHeadroomPolicy::kMinFraction);
+  EXPECT_LE(policy.fraction(), 1.0);
+  // The climber still functions after the jumps: the gate answers.
+  EXPECT_TRUE(policy.admit(request(0, sim::SimTime::days(1000 * 365 * 50),
+                                   DataRate{})));
 }
 
 TEST(AdaptiveHeadroomPolicy, FractionStaysClamped) {

@@ -89,6 +89,18 @@ RandomCase draw_case(std::uint64_t seed) {
   // Shadow-matrix axis: some draws carry every registered (scorer x
   // admission) pair as shadows; the per-cell invariants below apply.
   config.shadow_matrix = rng.bernoulli(0.3);
+  // Policy-switch axis: live per-neighborhood promotion off the shadow
+  // bank.  The knobs are drawn unconditionally (stable draw stream) but a
+  // no-cache primary cannot switch (config validation), so the flag only
+  // lands on real strategies.
+  const bool want_switch = rng.bernoulli(0.3);
+  const auto switch_hours = rng.uniform_int(1, 12);
+  const auto switch_k = static_cast<int>(1 + rng.uniform_u64(3));
+  if (want_switch && config.strategy.kind != core::StrategyKind::None) {
+    config.policy_switch = true;
+    config.switch_window = sim::SimTime::hours(switch_hours);
+    config.switch_windows_k = switch_k;
+  }
 
   // Scenario axis: each adaptor joins the stack with its own probability,
   // parameters drawn inside the ranges the workload makes valid.
@@ -189,12 +201,17 @@ TEST_P(RandomConfig, ConservationInvariantsHoldOnEveryReport) {
   EXPECT_GE(report.segments, report.sessions);
   EXPECT_EQ(report.segments,
             report.hits + report.cold_misses + report.busy_misses);
-  std::uint64_t sessions = 0, hits = 0, cold = 0, busy = 0, denials = 0;
+  std::uint64_t sessions = 0, segments = 0, hits = 0, cold = 0, busy = 0,
+                denials = 0;
   for (const auto& n : report.neighborhoods) {
-    // Each neighborhood conserves its own request flow...
+    // Each neighborhood conserves its own request flow — including across
+    // policy-switch boundaries: a warm swap exchanges cached-set state,
+    // never counters, so every segment still lands in exactly one bucket.
     EXPECT_LE(n.hits, report.hits);
+    EXPECT_EQ(n.segments, n.hits + n.cold_misses + n.busy_misses);
     EXPECT_EQ(n.sessions == 0, n.hits + n.cold_misses + n.busy_misses == 0);
     sessions += n.sessions;
+    segments += n.segments;
     hits += n.hits;
     cold += n.cold_misses;
     busy += n.busy_misses;
@@ -208,6 +225,7 @@ TEST_P(RandomConfig, ConservationInvariantsHoldOnEveryReport) {
     EXPECT_GE(n.fiber_peak.mean.bps(), -1e-3);
   }
   EXPECT_EQ(report.sessions, sessions);
+  EXPECT_EQ(report.segments, segments);
   EXPECT_EQ(report.hits, hits);
   EXPECT_EQ(report.cold_misses, cold);
   EXPECT_EQ(report.busy_misses, busy);
@@ -215,7 +233,10 @@ TEST_P(RandomConfig, ConservationInvariantsHoldOnEveryReport) {
 
   // --- admission denials ------------------------------------------------
   EXPECT_LE(report.admission_denials, report.sessions);
-  if (report.admission_policy == core::AdmissionKind::Always ||
+  // A policy switch can promote a gated admission pair mid-run, so the
+  // always-admit zero only binds when switching is off.
+  if ((report.admission_policy == core::AdmissionKind::Always &&
+       !c.config.policy_switch) ||
       report.strategy == core::StrategyKind::None) {
     EXPECT_EQ(report.admission_denials, 0u);
   }
@@ -225,12 +246,34 @@ TEST_P(RandomConfig, ConservationInvariantsHoldOnEveryReport) {
   }
 
   // --- shadow matrix ----------------------------------------------------
-  if (c.config.shadow_matrix) {
+  // Switching runs suppress the matrix: after a swap the cells no longer
+  // mean the same pair in every neighborhood (the switch log replaces it).
+  if (c.config.shadow_matrix && !c.config.policy_switch) {
     const std::size_t scorers = core::scorer_registry().size() - 1;  // -None
     EXPECT_EQ(report.shadow_matrix.size(),
               scorers * core::admission_registry().size());
   } else {
     EXPECT_TRUE(report.shadow_matrix.empty());
+  }
+
+  // --- policy switches --------------------------------------------------
+  if (c.config.policy_switch) {
+    EXPECT_TRUE(report.policy_switching);
+    for (const auto& rec : report.policy_switches) {
+      ASSERT_LT(rec.neighborhood, report.neighborhoods.size());
+      // The triggering window was a *strict* win.
+      EXPECT_GT(rec.window_winner_hits, rec.window_primary_hits);
+      // At-switch snapshots are cumulative prefixes of the final counters.
+      const auto& n = report.neighborhoods[rec.neighborhood];
+      EXPECT_LE(rec.primary_hits, n.hits);
+      EXPECT_LE(rec.primary_cold_misses, n.cold_misses);
+      EXPECT_LE(rec.primary_busy_misses, n.busy_misses);
+      EXPECT_FALSE(rec.from_scorer.empty());
+      EXPECT_FALSE(rec.to_scorer.empty());
+    }
+  } else {
+    EXPECT_FALSE(report.policy_switching);
+    EXPECT_TRUE(report.policy_switches.empty());
   }
   for (const auto& cell : report.shadow_matrix) {
     const std::string label = cell.scorer + " x " + cell.admission;
@@ -336,6 +379,7 @@ TEST_P(RandomConfig, ConservationInvariantsHoldOnEveryReport) {
 TEST_P(RandomConfig, SteadyStateShardLoopIsAllocationFree) {
   auto c = draw_case(GetParam());
   c.config.shadow_matrix = false;
+  c.config.policy_switch = false;  // same clamp reason as shadow_matrix
   c.config.tiers.clear();
   c.config.peer_failures.clear();  // apply_system expanded storms into here
   c.spec.storm.enabled = false;

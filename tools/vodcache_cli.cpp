@@ -45,6 +45,12 @@
 //                         truth for these names), then exit
 //   --shadow-matrix       shadow every (scorer x admission) pair against
 //                         the primary's replay in the same single pass
+//   --policy-switch       let each neighborhood promote a shadow pair
+//                         that out-hits its primary for k consecutive
+//                         windows (warm switch; report gains
+//                         policy_switches, drops shadow_matrix)
+//   --switch-window N     policy-switch comparison window, hours  [6]
+//   --switch-k N          consecutive windows a pair must win     [3]
 //   --replicate           replicate stream-saturated segments
 // Tier options (run; any --hub-* flag adds a regional hub tier between
 // the neighborhoods and the origin):
@@ -331,6 +337,14 @@ CliOptions parse(int argc, char** argv) {
       options.system.replicate_on_busy = true;
     } else if (arg == "--shadow-matrix") {
       options.system.shadow_matrix = true;
+    } else if (arg == "--policy-switch") {
+      options.system.policy_switch = true;
+    } else if (arg == "--switch-window") {
+      options.system.switch_window = sim::SimTime::hours(
+          parse_int(need_value(i), "--switch-window", 1, kMaxHours));
+    } else if (arg == "--switch-k") {
+      options.system.switch_windows_k = static_cast<int>(
+          parse_int(need_value(i), "--switch-k", 1, 1000));
     } else if (arg == "--threads") {
       options.system.threads = static_cast<std::uint32_t>(
           parse_int(need_value(i), "--threads", 1, 4096));
